@@ -1,0 +1,43 @@
+// Command lightning-bench regenerates the paper's tables and figures from
+// this reproduction's substrates. Run with -exp all (default) for the full
+// evaluation, or pick one experiment:
+//
+//	lightning-bench -exp fig21
+//	lightning-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lightning-smartnic/lightning/internal/exp"
+)
+
+func main() {
+	id := flag.String("exp", "all", "experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.IDs() {
+			fmt.Println(e)
+		}
+		return
+	}
+	var err error
+	switch *id {
+	case "all":
+		err = exp.All(os.Stdout)
+	case "fig16full":
+		// The exact LeNet-300-100 architecture over 784 inputs: compute-
+		// heavy, so it runs only on request rather than as part of "all".
+		err = exp.Fig16Full(os.Stdout, 100, 1)
+	default:
+		err = exp.Run(*id, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightning-bench:", err)
+		os.Exit(1)
+	}
+}

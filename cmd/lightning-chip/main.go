@@ -1,0 +1,46 @@
+// Command lightning-chip prints the §8 ASIC study: the 65 nm synthesis
+// anchors (Table 1), the 7 nm 576-MAC chip projection (Table 2), the energy
+// comparison (Table 3), the core-architecture algebra (Table 5), and the
+// §10 cost estimate. Flags support parameter studies beyond the paper's
+// design point.
+//
+//	lightning-chip -wavelengths 24 -parallel 24 -batch 1 -clock 97e9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/lightning-smartnic/lightning/internal/chip"
+	"github.com/lightning-smartnic/lightning/internal/exp"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+func main() {
+	n := flag.Int("wavelengths", 24, "accumulation wavelengths N")
+	wpar := flag.Int("parallel", 24, "parallel modulations per modulator W")
+	batch := flag.Int("batch", 1, "inference batch B")
+	clock := flag.Float64("clock", 97e9, "analog compute clock (Hz)")
+	flag.Parse()
+
+	for _, id := range []string{"table1", "table3", "table4", "table5", "cost"} {
+		if err := exp.Run(id, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := chip.DefaultChip()
+	cfg.Spec = photonic.ScaledCoreSpec{N: *n, W: *wpar, B: *batch}
+	cfg.ClockHz = *clock
+	b, err := chip.Project(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== Table 2: chip projection for N=%d W=%d B=%d @ %.3g GHz (%d MACs/step) ===\n",
+		*n, *wpar, *batch, *clock/1e9, cfg.Spec.MACsPerStep())
+	fmt.Print(b.String())
+	fmt.Printf("throughput: %.4g MAC/s; vs Brainwave FPGA area: %.2f× smaller\n",
+		float64(cfg.Spec.MACsPerStep())*cfg.ClockHz, chip.CompareArea(b))
+}

@@ -1,0 +1,62 @@
+// Command lightning-client sends inference queries to a lightning-serve
+// instance and reports the round-trip latency distribution.
+//
+//	lightning-client -addr 127.0.0.1:4055 -model anomaly -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	lightning "github.com/lightning-smartnic/lightning"
+	"github.com/lightning-smartnic/lightning/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4055", "server UDP address")
+	modelName := flag.String("model", "anomaly", "model to query: anomaly | iot | digits")
+	n := flag.Int("n", 100, "number of queries")
+	seed := flag.Uint64("seed", 99, "dataset seed (use one the server didn't train on)")
+	flag.Parse()
+
+	var set *lightning.Dataset
+	var id uint16
+	switch *modelName {
+	case "anomaly":
+		set, id = lightning.AnomalyDataset(*n, *seed), 1
+	case "iot":
+		set, id = lightning.IoTTrafficDataset(*n, *seed), 2
+	case "digits":
+		set, id = lightning.DigitsDataset(*n, *seed), 3
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+
+	client, err := lightning.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	var latencies []float64
+	correct := 0
+	for i, ex := range set.Examples {
+		resp, rtt, err := client.Infer(id, ex.X)
+		if err != nil {
+			log.Fatalf("query %d: %v", i, err)
+		}
+		if resp.Err {
+			log.Fatalf("query %d: server error (is model %q registered?)", i, *modelName)
+		}
+		if int(resp.Class) == ex.Label {
+			correct++
+		}
+		latencies = append(latencies, float64(rtt.Microseconds()))
+	}
+	cdf := stats.NewCDF(latencies)
+	fmt.Printf("%d queries against %s\n", len(latencies), *addr)
+	fmt.Printf("accuracy vs synthetic labels: %.1f%%\n", float64(correct)/float64(len(latencies))*100)
+	fmt.Printf("latency p50 %.0f µs, p90 %.0f µs, p99 %.0f µs\n",
+		cdf.Percentile(0.5), cdf.Percentile(0.9), cdf.Percentile(0.99))
+}

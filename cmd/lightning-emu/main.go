@@ -1,0 +1,23 @@
+// Command lightning-emu runs the §7 accuracy emulation (Fig 19): the four
+// proxy networks under 8-bit photonic, 8-bit digital and 32-bit digital
+// schemes, reporting top-5 agreement with the fp32 reference.
+//
+//	lightning-emu -inputs 50
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"github.com/lightning-smartnic/lightning/internal/exp"
+)
+
+func main() {
+	inputs := flag.Int("inputs", 30, "synthetic inputs per network")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+	if err := exp.Fig19(os.Stdout, *inputs, *seed); err != nil {
+		log.Fatal(err)
+	}
+}

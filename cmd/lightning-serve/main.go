@@ -1,0 +1,112 @@
+// Command lightning-serve runs a Lightning smartNIC as a UDP inference
+// server: it trains the selected stand-in model, registers it on the
+// photonic datapath, and answers Lightning wire queries.
+//
+//	lightning-serve -addr :4055 -model digits
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	lightning "github.com/lightning-smartnic/lightning"
+)
+
+func main() {
+	addr := flag.String("addr", ":4055", "UDP listen address")
+	modelName := flag.String("model", "anomaly", "model to serve: anomaly | iot | digits")
+	epochs := flag.Int("epochs", 25, "training epochs")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	noiseless := flag.Bool("noiseless", false, "disable the analog noise model")
+	loadPath := flag.String("load", "", "load a saved model instead of training")
+	savePath := flag.String("save", "", "save the trained model to this file")
+	workers := flag.Int("workers", 1, "UDP worker pool size")
+	flag.Parse()
+
+	var train *lightning.Dataset
+	var hidden []int
+	var id uint16
+	switch *modelName {
+	case "anomaly":
+		train, hidden, id = lightning.AnomalyDataset(2000, *seed), []int{32, 16}, 1
+	case "iot":
+		train, hidden, id = lightning.IoTTrafficDataset(2000, *seed), []int{32, 16}, 2
+	case "digits":
+		train, hidden, id = lightning.DigitsDataset(3000, *seed), []int{64, 32}, 3
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+
+	var q *lightning.TrainedModel
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err = lightning.LoadModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded model from %s: 8-bit top-1 %.1f%% on fresh data",
+			*loadPath, lightning.Evaluate(q, train)*100)
+	} else {
+		log.Printf("training %s model (%d examples, hidden %v, %d epochs)...",
+			*modelName, len(train.Examples), hidden, *epochs)
+		var floatAcc, intAcc float64
+		var err error
+		q, floatAcc, intAcc, err = lightning.Train(train, lightning.TrainOptions{
+			Hidden: hidden, Epochs: *epochs, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trained: float top-1 %.1f%%, 8-bit top-1 %.1f%%", floatAcc*100, intAcc*100)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lightning.SaveModel(f, q); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved model to %s", *savePath)
+	}
+
+	nic, err := lightning.New(lightning.Config{Lanes: 2, Noiseless: *noiseless, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nic.RegisterModel(id, *modelName, q); err != nil {
+		log.Fatal(err)
+	}
+
+	pc, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pc.Close()
+	log.Printf("serving model %q (id %d) on %s", *modelName, id, pc.LocalAddr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var serveErr error
+	if *workers > 1 {
+		serveErr = nic.ServeUDPWorkers(ctx, pc, *workers)
+	} else {
+		serveErr = nic.ServeUDP(ctx, pc)
+	}
+	if serveErr != nil {
+		log.Fatal(serveErr)
+	}
+	fmt.Printf("served %d inference queries\n", nic.Served)
+}

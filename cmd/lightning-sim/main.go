@@ -1,0 +1,37 @@
+// Command lightning-sim runs the §9 large-scale discrete-event simulation:
+// Poisson inference arrivals over seven DNN models served by Lightning and
+// the baseline accelerators, producing Figures 21 and 22.
+//
+//	lightning-sim -util 0.95 -traces 10 -requests 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/lightning-smartnic/lightning/internal/exp"
+	"github.com/lightning-smartnic/lightning/internal/sim"
+)
+
+func main() {
+	util := flag.Float64("util", 0.95, "utilization target for the most congested baseline")
+	traces := flag.Int("traces", 10, "randomized traces to average")
+	requests := flag.Int("requests", 2000, "requests per trace")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	flag.Parse()
+
+	cfg := sim.DefaultCompareConfig()
+	cfg.Utilization = *util
+	cfg.Traces = *traces
+	cfg.Requests = *requests
+	cfg.Seed = *seed
+	if err := exp.Fig21and22(os.Stdout, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := exp.Table6(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a Lightning smartNIC, train a model, and serve an
+// inference query through the photonic-electronic datapath — the Go
+// equivalent of the paper's Python-API walkthrough (Appendix G).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lightning "github.com/lightning-smartnic/lightning"
+)
+
+func main() {
+	// 1. Train a small anomaly-detection classifier (the §6.3 security
+	// model) on the synthetic flow dataset and quantize it to Lightning's
+	// 8-bit sign/magnitude datapath format.
+	set := lightning.AnomalyDataset(1500, 7)
+	train, test := set.Split(0.8)
+	model, floatAcc, intAcc, err := lightning.Train(train, lightning.TrainOptions{
+		Hidden: []int{32, 16},
+		Epochs: 15,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained security model: float %.1f%%, 8-bit %.1f%% top-1\n",
+		floatAcc*100, intAcc*100)
+
+	// 2. Build the smartNIC: calibrated two-wavelength photonic core,
+	// count-action datapath, DDR4 weight store, packet parser.
+	nic, err := lightning.New(lightning.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nic.RegisterModel(1, "security", model); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Serve test queries as wire messages, exactly as packets from a
+	// remote user would be handled after parsing.
+	correct := 0
+	n := 50
+	for i := 0; i < n; i++ {
+		ex := test.Examples[i]
+		payload := make([]byte, len(ex.X))
+		for j, c := range ex.X {
+			payload[j] = byte(c)
+		}
+		resp, err := nic.HandleMessage(&lightning.Message{
+			RequestID: uint32(i),
+			ModelID:   1,
+			Payload:   payload,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if int(resp.Class) == ex.Label {
+			correct++
+		}
+	}
+	fmt.Printf("served %d queries through the photonic datapath: %.1f%% correct\n",
+		n, float64(correct)/float64(n)*100)
+}

@@ -1,0 +1,3 @@
+module github.com/lightning-smartnic/lightning
+
+go 1.22

@@ -1,0 +1,66 @@
+package chip
+
+// Cost modeling of §10: photonic components priced by silicon-nitride
+// multi-wafer-run area, electronic components by 7 nm wafer cost and yield.
+
+// CostModel holds the §10 pricing constants.
+type CostModel struct {
+	// PhotonicRunCostPer200mm2 is the Europractice 2023 LioniX SiN MPW
+	// price for 4 samples of 200 mm² ($13,500).
+	PhotonicRunCostPer200mm2 float64
+	// MassProductionDiscount divides the prototype photonics cost (10×).
+	MassProductionDiscount float64
+	// WaferCost is TSMC's 7 nm wafer price ($10,000).
+	WaferCost float64
+	// WaferDiameterMM is the standard wafer diameter (300 mm).
+	WaferDiameterMM float64
+	// Yield is the working-die fraction (0.8).
+	Yield float64
+}
+
+// DefaultCostModel returns the paper's constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PhotonicRunCostPer200mm2: 13500,
+		MassProductionDiscount:   10,
+		WaferCost:                10000,
+		WaferDiameterMM:          300,
+		Yield:                    0.8,
+	}
+}
+
+// PhotonicCost estimates the photonic die cost for the given area (mm²):
+// MPW runs price 200 mm² blocks (4 samples per run), then mass production
+// divides by the discount. For the §8 chip's 1500.01 mm² the paper obtains
+// ≈$25,312.5 prototype / ≈$2,531.25 at volume.
+func (c CostModel) PhotonicCost(areaMM2 float64) (prototype, volume float64) {
+	blocks := areaMM2 / 200
+	prototype = blocks * c.PhotonicRunCostPer200mm2 / 4 * 3 // per-sample share of a 4-sample run
+	// The paper's arithmetic: 1500.01/200 × 13500/4 = 25312.7 ≈ $25,312.5.
+	prototype = blocks * c.PhotonicRunCostPer200mm2 / 4
+	volume = prototype / c.MassProductionDiscount
+	return prototype, volume
+}
+
+// ElectronicCost estimates the CMOS die cost for the given area (mm²): dies
+// per 300 mm wafer at the given yield. For the §8 chip's 609.93 mm² CMOS
+// area the paper obtains ≈$108.7.
+func (c CostModel) ElectronicCost(areaMM2 float64) float64 {
+	r := c.WaferDiameterMM / 2
+	waferArea := 3.141592653589793 * r * r
+	diesPerWafer := waferArea / areaMM2
+	return c.WaferCost / (diesPerWafer * c.Yield)
+}
+
+// CMOSArea returns the die area the §10 cost estimate prices at the 7 nm
+// foundry: the paper's 609.93 mm² figure is the digital budget plus a
+// second accounting of the HBM stack's footprint (528.829 + 81.1); we follow
+// the paper's arithmetic for comparability.
+func CMOSArea(b Budget) float64 { return b.DigitalArea() + hbm2Area }
+
+// SmartNICCost combines photonic (volume) and electronic costs — the §10
+// estimate of ≈$2,639.95 for the default chip.
+func (c CostModel) SmartNICCost(b Budget) float64 {
+	_, photonic := c.PhotonicCost(b.PhotonicArea())
+	return photonic + c.ElectronicCost(CMOSArea(b))
+}

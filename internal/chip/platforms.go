@@ -1,0 +1,78 @@
+package chip
+
+import "fmt"
+
+// Platform describes one accelerator in the Table 3 comparison: total board
+// power, MAC unit count, and clock frequency, from the vendors' published
+// numbers.
+type Platform struct {
+	Name     string
+	PowerW   float64
+	MACUnits int
+	ClockHz  float64
+	// Efficiency derates peak MAC throughput for sustained inference
+	// (kernel launch gaps, memory stalls); 1.0 reproduces Table 3's
+	// peak-rate arithmetic.
+	Efficiency float64
+}
+
+// The Table 3 platforms.
+func LightningPlatform() Platform {
+	return Platform{Name: "Lightning", PowerW: 91.319, MACUnits: 576, ClockHz: 97e9, Efficiency: 1}
+}
+
+// P4Platform is the Nvidia Tesla P4 GPU.
+func P4Platform() Platform {
+	return Platform{Name: "P4", PowerW: 75, MACUnits: 2560, ClockHz: 1.114e9, Efficiency: 1}
+}
+
+// A100Platform is the Nvidia A100 GPU. Table 3 prints "6192" MAC units but
+// its per-unit power of 0.0362 W and 25.652 pJ/MAC follow from the A100's
+// actual 6912 FP16 cores; we use the count the paper's arithmetic uses.
+func A100Platform() Platform {
+	return Platform{Name: "A100", PowerW: 250, MACUnits: 6912, ClockHz: 1.41e9, Efficiency: 1}
+}
+
+// A100XPlatform is the Nvidia A100X converged DPU (same die as the A100).
+func A100XPlatform() Platform {
+	return Platform{Name: "A100X", PowerW: 300, MACUnits: 6912, ClockHz: 1.41e9, Efficiency: 1}
+}
+
+// BrainwavePlatform is the Microsoft Brainwave Stratix 10 smartNIC.
+func BrainwavePlatform() Platform {
+	return Platform{Name: "Brainwave", PowerW: 125, MACUnits: 96000, ClockHz: 0.25e9, Efficiency: 1}
+}
+
+// Table3Platforms returns all five platforms in table order.
+func Table3Platforms() []Platform {
+	return []Platform{LightningPlatform(), P4Platform(), A100Platform(), A100XPlatform(), BrainwavePlatform()}
+}
+
+// UnitPowerW returns the per-MAC-unit power (Table 3 row 3).
+func (p Platform) UnitPowerW() float64 { return p.PowerW / float64(p.MACUnits) }
+
+// EnergyPerMACJoules returns the end-to-end energy per MAC operation
+// (Table 3 row 5): per-unit power divided by clock frequency. This
+// system-level metric folds in control and memory-access energy.
+func (p Platform) EnergyPerMACJoules() float64 { return p.UnitPowerW() / p.ClockHz }
+
+// MACRate returns sustained MAC/s throughput.
+func (p Platform) MACRate() float64 {
+	eff := p.Efficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	return float64(p.MACUnits) * p.ClockHz * eff
+}
+
+// EnergySavingsVs returns Lightning's Table 3 bottom-row factor: the other
+// platform's energy per MAC divided by this platform's.
+func (p Platform) EnergySavingsVs(other Platform) float64 {
+	return other.EnergyPerMACJoules() / p.EnergyPerMACJoules()
+}
+
+// String summarizes the platform.
+func (p Platform) String() string {
+	return fmt.Sprintf("%s: %d MACs @ %.3g GHz, %.4g W, %.4g pJ/MAC",
+		p.Name, p.MACUnits, p.ClockHz/1e9, p.PowerW, p.EnergyPerMACJoules()*1e12)
+}

@@ -1,0 +1,174 @@
+// Package converter models the RFSoC's RF data converters: the DACs that
+// turn 8-bit datapath samples into analog drive voltages and the ADCs that
+// digitize photodetector output (§6.1). The prototype clocks the digital
+// datapath at 253.44 MHz with 16 samples per FPGA clock cycle, giving each
+// converter a 4.055 GS/s analog rate — which is why Lightning computes at
+// 4.055 GHz.
+//
+// Two behaviours of the real converters drive Lightning's datapath design
+// and are modeled here:
+//
+//   - Each DAC lane raises a `valid` flag when a new sample is ready and
+//     drops it when starved (the AXI-stream handshake), which the
+//     synchronous data streamer counts to keep parallel lanes aligned
+//     (Listing 1).
+//   - Each ADC delivers its 16 parallel samples per digital cycle with an
+//     *unknown phase*: meaningful data can start at any of the 16 positions
+//     (Fig 8), which is why preamble detection exists (Listing 2).
+package converter
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"github.com/lightning-smartnic/lightning/internal/axi"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// SamplesPerCycle is the prototype's converter parallelism: 16 analog
+// samples move per 253.44 MHz digital clock cycle.
+const SamplesPerCycle = 16
+
+// DigitalClockHz is the prototype datapath clock.
+const DigitalClockHz = 253.44e6
+
+// SampleRateHz is the resulting analog sample rate (4.055 GS/s).
+const SampleRateHz = DigitalClockHz * SamplesPerCycle
+
+// DAC is one digital-to-analog converter lane fed by an AXI stream.
+type DAC struct {
+	// In is the sample FIFO the memory controller or packet datapath
+	// fills.
+	In *axi.Stream[fixed.Code]
+	// Emitted counts samples converted to the analog domain.
+	Emitted uint64
+}
+
+// NewDAC creates a DAC lane with the given FIFO depth in samples.
+func NewDAC(depth int) *DAC {
+	return &DAC{In: axi.NewStream[fixed.Code](depth)}
+}
+
+// Valid reports whether a new data sample is ready to be transferred — the
+// flag of Listing 1, "automatically set to be 1 when a new 8-bit data sample
+// is ready ... flips back to 0 if no new data samples arrive".
+func (d *DAC) Valid() bool { return d.In.Valid() }
+
+// ValidCount returns 1 when valid, else 0, for count-action summation.
+func (d *DAC) ValidCount() int64 {
+	if d.Valid() {
+		return 1
+	}
+	return 0
+}
+
+// Emit converts up to SamplesPerCycle buffered samples for one digital clock
+// cycle. It returns the emitted codes; fewer than SamplesPerCycle means the
+// FIFO ran dry mid-cycle. The synchronous data streamer only calls Emit once
+// all parallel DACs are valid.
+func (d *DAC) Emit() []fixed.Code { return d.EmitN(SamplesPerCycle) }
+
+// EmitN converts up to n buffered samples. The streamer uses this to keep
+// parallel lanes in lockstep when one lane holds fewer samples than a full
+// cycle's worth.
+func (d *DAC) EmitN(n int) []fixed.Code {
+	if n > SamplesPerCycle {
+		n = SamplesPerCycle
+	}
+	out := make([]fixed.Code, 0, n)
+	for len(out) < n {
+		b, err := d.In.Pop()
+		if err != nil {
+			break
+		}
+		out = append(out, b.Data)
+	}
+	d.Emitted += uint64(len(out))
+	return out
+}
+
+// ADC digitizes analog readings into 8-bit codes and models the
+// unknown-phase parallel readout of Fig 8.
+type ADC struct {
+	// NoiseFloor is the maximum amplitude (in codes) of the idle-channel
+	// noise samples surrounding meaningful data.
+	NoiseFloor fixed.Code
+	rng        *rand.Rand
+	// Quantized counts samples digitized.
+	Quantized uint64
+}
+
+// NewADC returns an ADC with a small idle-channel noise floor, seeded for
+// reproducibility.
+func NewADC(seed uint64) *ADC {
+	return &ADC{NoiseFloor: 12, rng: rand.New(rand.NewPCG(seed, 0xadc))}
+}
+
+// Quantize converts one analog reading (in code units) to an 8-bit code,
+// rounding and saturating at the rails.
+func (a *ADC) Quantize(v float64) fixed.Code {
+	a.Quantized++
+	if v <= 0 {
+		return 0
+	}
+	if v >= fixed.MaxCode {
+		return fixed.MaxCode
+	}
+	return fixed.Code(math.Round(v))
+}
+
+// QuantizeBurst digitizes a slice of analog readings.
+func (a *ADC) QuantizeBurst(vs []float64) []fixed.Code {
+	out := make([]fixed.Code, len(vs))
+	for i, v := range vs {
+		out[i] = a.Quantize(v)
+	}
+	return out
+}
+
+// noiseSample draws one idle-channel sample below the noise floor.
+func (a *ADC) noiseSample() fixed.Code {
+	if a.NoiseFloor == 0 {
+		return 0
+	}
+	return fixed.Code(a.rng.IntN(int(a.NoiseFloor) + 1))
+}
+
+// Frame is one digital clock cycle's parallel ADC readout: SamplesPerCycle
+// samples delivered simultaneously to the datapath.
+type Frame [SamplesPerCycle]fixed.Code
+
+// ReadoutFrames packages a burst of analog readings into per-cycle frames as
+// the datapath sees them: the burst begins at sample position `phase` within
+// the first frame (0 ≤ phase < SamplesPerCycle); positions before it — and
+// after the burst ends — carry idle-channel noise (Fig 8a: phase 0; Fig 8b:
+// phase 6 leaves samples 0–5 as noise).
+func (a *ADC) ReadoutFrames(readings []float64, phase int) []Frame {
+	if phase < 0 || phase >= SamplesPerCycle {
+		panic("converter: readout phase out of range")
+	}
+	total := phase + len(readings)
+	nFrames := (total + SamplesPerCycle - 1) / SamplesPerCycle
+	if nFrames == 0 {
+		nFrames = 1
+	}
+	frames := make([]Frame, nFrames)
+	pos := 0
+	for f := 0; f < nFrames; f++ {
+		for s := 0; s < SamplesPerCycle; s++ {
+			idx := f*SamplesPerCycle + s
+			switch {
+			case idx < phase, idx >= phase+len(readings):
+				frames[f][s] = a.noiseSample()
+			default:
+				frames[f][s] = a.Quantize(readings[pos])
+				pos++
+			}
+		}
+	}
+	return frames
+}
+
+// RandomPhase draws a readout phase uniformly, modeling the arbitrary
+// alignment between the analog burst and the digital clock.
+func (a *ADC) RandomPhase() int { return a.rng.IntN(SamplesPerCycle) }

@@ -1,0 +1,176 @@
+package converter
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/axi"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func TestSampleRate(t *testing.T) {
+	// 253.44 MHz × 16 = 4.055 GS/s (§6.1).
+	if math.Abs(SampleRateHz-4.05504e9) > 1 {
+		t.Errorf("SampleRateHz = %v, want 4.05504e9", SampleRateHz)
+	}
+}
+
+func TestDACValidFlag(t *testing.T) {
+	d := NewDAC(32)
+	if d.Valid() || d.ValidCount() != 0 {
+		t.Error("empty DAC reports valid")
+	}
+	d.In.Push(axi.Beat[fixed.Code]{Data: 7})
+	if !d.Valid() || d.ValidCount() != 1 {
+		t.Error("loaded DAC not valid")
+	}
+}
+
+func TestDACEmitFullCycle(t *testing.T) {
+	d := NewDAC(64)
+	for i := 0; i < 40; i++ {
+		d.In.Push(axi.Beat[fixed.Code]{Data: fixed.Code(i)})
+	}
+	out := d.Emit()
+	if len(out) != SamplesPerCycle {
+		t.Fatalf("Emit = %d samples, want %d", len(out), SamplesPerCycle)
+	}
+	for i, c := range out {
+		if c != fixed.Code(i) {
+			t.Fatalf("sample %d = %d", i, c)
+		}
+	}
+	if d.Emitted != SamplesPerCycle {
+		t.Errorf("Emitted = %d", d.Emitted)
+	}
+}
+
+func TestDACEmitStarved(t *testing.T) {
+	d := NewDAC(64)
+	for i := 0; i < 5; i++ {
+		d.In.Push(axi.Beat[fixed.Code]{Data: 1})
+	}
+	if got := len(d.Emit()); got != 5 {
+		t.Errorf("starved Emit = %d samples, want 5", got)
+	}
+	if got := len(d.Emit()); got != 0 {
+		t.Errorf("empty Emit = %d samples, want 0", got)
+	}
+}
+
+func TestADCQuantizeSaturation(t *testing.T) {
+	a := NewADC(1)
+	cases := []struct {
+		in   float64
+		want fixed.Code
+	}{
+		{-10, 0}, {0, 0}, {0.4, 0}, {0.6, 1}, {254.4, 254}, {255, 255}, {300, 255},
+	}
+	for _, c := range cases {
+		if got := a.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if a.Quantized != uint64(len(cases)) {
+		t.Errorf("Quantized = %d", a.Quantized)
+	}
+}
+
+func TestQuantizeBurst(t *testing.T) {
+	a := NewADC(1)
+	got := a.QuantizeBurst([]float64{1, 2.6, 300})
+	want := []fixed.Code{1, 3, 255}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("burst[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadoutFramesPhaseZero(t *testing.T) {
+	a := NewADC(1)
+	readings := make([]float64, SamplesPerCycle)
+	for i := range readings {
+		readings[i] = float64(100 + i)
+	}
+	frames := a.ReadoutFrames(readings, 0)
+	if len(frames) != 1 {
+		t.Fatalf("frames = %d, want 1", len(frames))
+	}
+	for i := 0; i < SamplesPerCycle; i++ {
+		if frames[0][i] != fixed.Code(100+i) {
+			t.Fatalf("sample %d = %d", i, frames[0][i])
+		}
+	}
+}
+
+func TestReadoutFramesShifted(t *testing.T) {
+	// Fig 8b: meaningful data starting at position 7 leaves samples 0–6 as
+	// noise and spills into a second frame.
+	a := NewADC(2)
+	readings := make([]float64, SamplesPerCycle)
+	for i := range readings {
+		readings[i] = 200
+	}
+	phase := 7
+	frames := a.ReadoutFrames(readings, phase)
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d, want 2", len(frames))
+	}
+	for i := 0; i < phase; i++ {
+		if frames[0][i] > a.NoiseFloor {
+			t.Errorf("pre-phase sample %d = %d exceeds noise floor", i, frames[0][i])
+		}
+	}
+	for i := phase; i < SamplesPerCycle; i++ {
+		if frames[0][i] != 200 {
+			t.Errorf("data sample %d = %d, want 200", i, frames[0][i])
+		}
+	}
+	// The tail of frame 2 after the burst is noise again.
+	for i := phase; i < SamplesPerCycle; i++ {
+		if frames[1][i] > a.NoiseFloor {
+			t.Errorf("post-burst sample %d = %d exceeds noise floor", i, frames[1][i])
+		}
+	}
+}
+
+func TestReadoutFramesPanicsOnBadPhase(t *testing.T) {
+	a := NewADC(1)
+	for _, phase := range []int{-1, SamplesPerCycle} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("phase %d did not panic", phase)
+				}
+			}()
+			a.ReadoutFrames(nil, phase)
+		}()
+	}
+}
+
+func TestRandomPhaseInRange(t *testing.T) {
+	a := NewADC(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		p := a.RandomPhase()
+		if p < 0 || p >= SamplesPerCycle {
+			t.Fatalf("phase %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("phases not well distributed: %d distinct", len(seen))
+	}
+}
+
+func TestNoiseFloorZero(t *testing.T) {
+	a := NewADC(1)
+	a.NoiseFloor = 0
+	frames := a.ReadoutFrames([]float64{100}, 3)
+	for i := 0; i < 3; i++ {
+		if frames[0][i] != 0 {
+			t.Errorf("zero-floor noise sample = %d", frames[0][i])
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package countaction implements Lightning's key primitive: the
+// reconfigurable count-action abstraction of §5.
+//
+// A count-action unit has three components (Fig 6): a set of variables to
+// count, a set of target results, and a set of actions to trigger when the
+// accumulated count reaches the target. The count accumulates across digital
+// datapath clock cycles; once it reaches the target it resets to zero and the
+// actions fire — without any control-plane involvement. This is how the
+// datapath tracks each inference request's computation DAG at line rate.
+//
+// Unlike Tofino's match-action units, count-action units are reconfigurable
+// at runtime (§5.4): each unit reads its target (and an action selector) from
+// a centralized RegisterFile that the DAG configuration loader rewrites when
+// a packet for a different DNN model arrives. Binding a Rule to a register
+// means reconfiguration takes effect on the next datapath cycle with no
+// pipeline flush.
+package countaction
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is the width of a count register. The RTL uses 32-bit counters; we
+// use int64 so simulation-scale counts cannot wrap.
+type Value = int64
+
+// Action is the operation a rule triggers when its count reaches its target,
+// e.g. "stream DAC[i].data into photonic cores" (Listing 1).
+type Action func()
+
+// Addr addresses one word in the centralized control register file.
+type Addr uint16
+
+// RegisterFile is the centralized control register block of Fig 11. The DAG
+// configuration loader (or the software driver over AXI-lite) writes target
+// and action values here; count-action units bound to registers observe the
+// new values immediately.
+type RegisterFile struct {
+	regs []Value
+}
+
+// NewRegisterFile allocates n control registers, all zero.
+func NewRegisterFile(n int) *RegisterFile {
+	return &RegisterFile{regs: make([]Value, n)}
+}
+
+// Size returns the number of registers.
+func (f *RegisterFile) Size() int { return len(f.regs) }
+
+// Write stores v at address a. It panics on an out-of-range address, which
+// models an AXI-lite bus error.
+func (f *RegisterFile) Write(a Addr, v Value) {
+	if int(a) >= len(f.regs) {
+		panic(fmt.Sprintf("countaction: register write to %d beyond file size %d", a, len(f.regs)))
+	}
+	f.regs[a] = v
+}
+
+// Read returns the value at address a.
+func (f *RegisterFile) Read(a Addr) Value {
+	if int(a) >= len(f.regs) {
+		panic(fmt.Sprintf("countaction: register read at %d beyond file size %d", a, len(f.regs)))
+	}
+	return f.regs[a]
+}
+
+// Rule is a single count-action unit. A Rule counts via Add/Observe each
+// datapath cycle; when the count reaches the target it resets to zero and
+// the action fires. A target of zero disables the rule (it never fires),
+// which is how unused datapath template slots sit idle.
+type Rule struct {
+	// Name identifies the rule in snapshots and errors.
+	Name string
+
+	// Fires counts how many times the rule has triggered since Reset.
+	Fires uint64
+
+	count  Value
+	target Value
+
+	// When bound, the target is read through the register file each
+	// evaluation so the DAG loader can retune it at runtime.
+	regs *RegisterFile
+	addr Addr
+
+	action Action
+}
+
+// New creates a rule with a fixed target.
+func New(name string, target Value, action Action) *Rule {
+	return &Rule{Name: name, target: target, action: action}
+}
+
+// Bound creates a rule whose target lives in the control register file at
+// addr — the runtime-reconfigurable form of Fig 11.
+func Bound(name string, regs *RegisterFile, addr Addr, action Action) *Rule {
+	if regs == nil {
+		panic("countaction: Bound needs a register file")
+	}
+	return &Rule{Name: name, regs: regs, addr: addr, action: action}
+}
+
+// Target returns the rule's current target (possibly read from the register
+// file).
+func (r *Rule) Target() Value {
+	if r.regs != nil {
+		return r.regs.Read(r.addr)
+	}
+	return r.target
+}
+
+// SetTarget updates the target. For a bound rule this writes through to the
+// register file, keeping hardware and software views coherent.
+func (r *Rule) SetTarget(t Value) {
+	if r.regs != nil {
+		r.regs.Write(r.addr, t)
+		return
+	}
+	r.target = t
+}
+
+// SetAction replaces the triggered action (the DAG loader swaps actions when
+// retargeting a datapath template to a different layer type).
+func (r *Rule) SetAction(a Action) { r.action = a }
+
+// Count returns the current accumulated count.
+func (r *Rule) Count() Value { return r.count }
+
+// Add accumulates delta into the count and evaluates the rule: if the count
+// has reached the target, the count resets to zero, the action fires, and
+// Add reports true. Counts that overshoot the target (possible when counting
+// multi-valued variables like Σ DAC[i].valid) still fire once and reset, per
+// the semantics of §5 ("Once the result reaches the target, the count
+// variable is set back to zero, and the actions are triggered").
+func (r *Rule) Add(delta Value) bool {
+	t := r.Target()
+	if t <= 0 {
+		// Disabled rule: discard counts so a later reconfiguration
+		// starts clean.
+		r.count = 0
+		return false
+	}
+	r.count += delta
+	if r.count < t {
+		return false
+	}
+	r.count = 0
+	r.Fires++
+	if r.action != nil {
+		r.action()
+	}
+	return true
+}
+
+// Check evaluates a per-cycle count: the counted variable is recomputed
+// every cycle rather than accumulated (Listing 1's Σ DAC[i].valid is this
+// kind of count — three-of-four valid DACs this cycle must not carry over
+// into the next cycle). The rule fires when value reaches the target; the
+// count register always ends the cycle at zero.
+func (r *Rule) Check(value Value) bool {
+	t := r.Target()
+	r.count = 0
+	if t <= 0 || value < t {
+		return false
+	}
+	r.Fires++
+	if r.action != nil {
+		r.action()
+	}
+	return true
+}
+
+// Observe counts one occurrence of a condition this cycle: Add(1) when cond
+// is true. It reports whether the rule fired.
+func (r *Rule) Observe(cond bool) bool {
+	if !cond {
+		return false
+	}
+	return r.Add(1)
+}
+
+// Reset clears the count and fire statistics (a datapath reset).
+func (r *Rule) Reset() {
+	r.count = 0
+	r.Fires = 0
+}
+
+// RuleState is a diagnostic snapshot of one rule.
+type RuleState struct {
+	Name   string
+	Count  Value
+	Target Value
+	Fires  uint64
+}
+
+// Module is a named group of count-action rules forming one datapath module
+// (e.g. the synchronous_data_streamer of Listing 1). Modules exist for
+// introspection and bulk reset; rules are evaluated by the datapath logic
+// that owns them.
+type Module struct {
+	Name  string
+	rules map[string]*Rule
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, rules: make(map[string]*Rule)}
+}
+
+// Attach registers a rule with the module. It panics on duplicate names,
+// which would indicate a datapath wiring bug.
+func (m *Module) Attach(r *Rule) *Rule {
+	if _, dup := m.rules[r.Name]; dup {
+		panic(fmt.Sprintf("countaction: duplicate rule %q in module %q", r.Name, m.Name))
+	}
+	m.rules[r.Name] = r
+	return r
+}
+
+// Rule returns the named rule, or nil.
+func (m *Module) Rule(name string) *Rule { return m.rules[name] }
+
+// Reset resets every rule in the module.
+func (m *Module) Reset() {
+	for _, r := range m.rules {
+		r.Reset()
+	}
+}
+
+// Snapshot returns the state of every rule, sorted by name, for monitoring
+// and tests.
+func (m *Module) Snapshot() []RuleState {
+	out := make([]RuleState, 0, len(m.rules))
+	for _, r := range m.rules {
+		out = append(out, RuleState{Name: r.Name, Count: r.Count(), Target: r.Target(), Fires: r.Fires})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,268 @@
+package countaction
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRuleFiresAtTarget(t *testing.T) {
+	var fired int
+	r := New("r", 3, func() { fired++ })
+	if r.Add(1) || r.Add(1) {
+		t.Fatal("fired before target")
+	}
+	if !r.Add(1) {
+		t.Fatal("did not fire at target")
+	}
+	if fired != 1 || r.Fires != 1 {
+		t.Errorf("fired=%d Fires=%d", fired, r.Fires)
+	}
+	if r.Count() != 0 {
+		t.Errorf("count not reset: %d", r.Count())
+	}
+}
+
+func TestRuleFiresRepeatedly(t *testing.T) {
+	r := New("r", 2, nil)
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if r.Add(1) {
+			fires++
+		}
+	}
+	if fires != 5 {
+		t.Errorf("fires = %d, want 5", fires)
+	}
+}
+
+func TestRuleOvershootFiresOnce(t *testing.T) {
+	// Counting Σ DAC[i].valid can add multiple per cycle; an overshoot
+	// still fires once and resets to zero.
+	r := New("r", 4, nil)
+	if !r.Add(7) {
+		t.Fatal("overshoot did not fire")
+	}
+	if r.Count() != 0 {
+		t.Errorf("count after overshoot = %d, want 0", r.Count())
+	}
+	if r.Fires != 1 {
+		t.Errorf("Fires = %d, want 1", r.Fires)
+	}
+}
+
+func TestDisabledRuleNeverFires(t *testing.T) {
+	r := New("r", 0, func() { t.Fatal("disabled rule fired") })
+	for i := 0; i < 5; i++ {
+		if r.Add(10) {
+			t.Fatal("disabled rule reported fire")
+		}
+	}
+	if r.Count() != 0 {
+		t.Errorf("disabled rule accumulated count %d", r.Count())
+	}
+}
+
+func TestObserve(t *testing.T) {
+	r := New("r", 2, nil)
+	if r.Observe(false) {
+		t.Error("false observation fired")
+	}
+	if r.Count() != 0 {
+		t.Error("false observation counted")
+	}
+	r.Observe(true)
+	if !r.Observe(true) {
+		t.Error("second true observation should fire")
+	}
+}
+
+func TestCheckPerCycleSemantics(t *testing.T) {
+	var fired int
+	r := New("streamer", 4, func() { fired++ })
+	// Three of four DACs valid: must not fire, and must not carry over.
+	if r.Check(3) {
+		t.Fatal("fired below target")
+	}
+	if r.Count() != 0 {
+		t.Fatal("per-cycle count carried over")
+	}
+	if !r.Check(4) {
+		t.Fatal("did not fire at target")
+	}
+	if !r.Check(5) {
+		t.Fatal("did not fire above target")
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	// Disabled rule never fires on Check either.
+	d := New("off", 0, nil)
+	if d.Check(100) {
+		t.Error("disabled rule fired on Check")
+	}
+}
+
+func TestBoundRuleRuntimeReconfig(t *testing.T) {
+	rf := NewRegisterFile(4)
+	r := Bound("r", rf, 2, nil)
+	rf.Write(2, 3)
+	if r.Target() != 3 {
+		t.Fatalf("Target = %d, want 3", r.Target())
+	}
+	r.Add(1)
+	r.Add(1)
+	// Retarget mid-count, as the DAG loader does when a packet for a
+	// different model arrives: the new target takes effect immediately.
+	rf.Write(2, 5)
+	if r.Add(1) {
+		t.Fatal("fired at old target after reconfiguration")
+	}
+	if !r.Add(2) {
+		t.Fatal("did not fire at new target")
+	}
+}
+
+func TestSetTargetWritesThrough(t *testing.T) {
+	rf := NewRegisterFile(1)
+	r := Bound("r", rf, 0, nil)
+	r.SetTarget(9)
+	if rf.Read(0) != 9 {
+		t.Errorf("register = %d, want 9", rf.Read(0))
+	}
+	u := New("u", 1, nil)
+	u.SetTarget(4)
+	if u.Target() != 4 {
+		t.Errorf("unbound target = %d, want 4", u.Target())
+	}
+}
+
+func TestBoundNeedsRegisterFile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bound(nil) did not panic")
+		}
+	}()
+	Bound("r", nil, 0, nil)
+}
+
+func TestRegisterFileBounds(t *testing.T) {
+	rf := NewRegisterFile(2)
+	if rf.Size() != 2 {
+		t.Errorf("Size = %d", rf.Size())
+	}
+	for _, f := range []func(){
+		func() { rf.Write(2, 1) },
+		func() { rf.Read(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range register access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRuleReset(t *testing.T) {
+	r := New("r", 5, nil)
+	r.Add(3)
+	r.Add(5) // fires
+	r.Reset()
+	if r.Count() != 0 || r.Fires != 0 {
+		t.Errorf("Reset left count=%d fires=%d", r.Count(), r.Fires)
+	}
+}
+
+func TestSetActionSwap(t *testing.T) {
+	var a, b int
+	r := New("r", 1, func() { a++ })
+	r.Add(1)
+	r.SetAction(func() { b++ })
+	r.Add(1)
+	if a != 1 || b != 1 {
+		t.Errorf("a=%d b=%d, want 1,1", a, b)
+	}
+}
+
+func TestModuleAttachAndSnapshot(t *testing.T) {
+	m := NewModule("streamer")
+	m.Attach(New("valid-count", 4, nil))
+	m.Attach(New("beat-count", 2, nil))
+	m.Rule("valid-count").Add(2)
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	// Sorted by name: beat-count first.
+	if snap[0].Name != "beat-count" || snap[1].Name != "valid-count" {
+		t.Errorf("snapshot order: %v, %v", snap[0].Name, snap[1].Name)
+	}
+	if snap[1].Count != 2 || snap[1].Target != 4 {
+		t.Errorf("snapshot state: %+v", snap[1])
+	}
+	if m.Rule("missing") != nil {
+		t.Error("missing rule should be nil")
+	}
+}
+
+func TestModuleDuplicatePanics(t *testing.T) {
+	m := NewModule("m")
+	m.Attach(New("x", 1, nil))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate rule name did not panic")
+		}
+	}()
+	m.Attach(New("x", 1, nil))
+}
+
+func TestModuleReset(t *testing.T) {
+	m := NewModule("m")
+	r := m.Attach(New("x", 2, nil))
+	r.Add(1)
+	m.Reset()
+	if r.Count() != 0 {
+		t.Error("module reset did not clear rule")
+	}
+}
+
+func TestProgramApply(t *testing.T) {
+	rf := NewRegisterFile(8)
+	var p Program
+	p.Label = "layer 1"
+	p.Set(1, 100)
+	p.Set(5, 200)
+	p.Apply(rf)
+	if rf.Read(1) != 100 || rf.Read(5) != 200 {
+		t.Errorf("registers after apply: %d, %d", rf.Read(1), rf.Read(5))
+	}
+	if s := p.String(); s != `program "layer 1" (2 register writes)` {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: total increments equal target*fires + residual count for any
+// positive-delta sequence with a fixed positive target.
+func TestConservationInvariant(t *testing.T) {
+	f := func(deltas []uint8, target uint8) bool {
+		tgt := Value(target%16) + 1
+		r := New("r", tgt, nil)
+		var total Value
+		var overshoot Value
+		for _, d := range deltas {
+			dd := Value(d%5) + 1
+			before := r.Count()
+			total += dd
+			if r.Add(dd) {
+				// Account for counts discarded by the reset.
+				overshoot += before + dd - tgt
+			}
+		}
+		return total == Value(r.Fires)*tgt+r.Count()+overshoot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

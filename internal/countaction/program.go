@@ -1,0 +1,38 @@
+package countaction
+
+import "fmt"
+
+// RegWrite is one control-register update.
+type RegWrite struct {
+	Addr  Addr
+	Value Value
+}
+
+// Program is the register image the DAG configuration loader applies to
+// retarget the datapath for one layer of one DNN model (§5.4: "the DAG
+// configuration loader modifies the values of corresponding control
+// registers at runtime based on the computation DAG of the DNN").
+type Program struct {
+	// Label describes what the program configures, e.g. "lenet-300-100
+	// layer 1: fc 784x300".
+	Label  string
+	Writes []RegWrite
+}
+
+// Apply performs every register write. Applying a program is the entirety of
+// a reconfiguration: no pipeline flush, no control-plane round trip.
+func (p Program) Apply(rf *RegisterFile) {
+	for _, w := range p.Writes {
+		rf.Write(w.Addr, w.Value)
+	}
+}
+
+// Set appends a register write to the program.
+func (p *Program) Set(a Addr, v Value) {
+	p.Writes = append(p.Writes, RegWrite{Addr: a, Value: v})
+}
+
+// String summarizes the program for logs.
+func (p Program) String() string {
+	return fmt.Sprintf("program %q (%d register writes)", p.Label, len(p.Writes))
+}

@@ -1,0 +1,65 @@
+package countaction
+
+// Watchdog implements the exception path of §4: "packets flow through the
+// system without involving the control plane (unless an exception occurs)".
+// A rule whose count stalls — its upstream data stopped arriving, a
+// preamble was never detected, a DAC starved indefinitely — must eventually
+// punt to the control plane rather than wedge the datapath. The watchdog
+// counts cycles since the observed rule last fired; reaching the deadline
+// raises the exception action and rearms.
+type Watchdog struct {
+	// Name identifies the watchdog in diagnostics.
+	Name string
+	// Deadline is the cycle budget between firings of the observed rule.
+	Deadline Value
+	// Exceptions counts raised exceptions.
+	Exceptions uint64
+
+	rule      *Rule
+	lastFires uint64
+	idle      Value
+	onExpire  Action
+}
+
+// NewWatchdog observes a rule: if the rule does not fire within deadline
+// Tick calls, onExpire runs (the control-plane interrupt) and the idle count
+// rearms.
+func NewWatchdog(name string, rule *Rule, deadline Value, onExpire Action) *Watchdog {
+	if rule == nil {
+		panic("countaction: watchdog needs a rule to observe")
+	}
+	if deadline <= 0 {
+		panic("countaction: watchdog deadline must be positive")
+	}
+	return &Watchdog{Name: name, Deadline: deadline, rule: rule, onExpire: onExpire}
+}
+
+// Tick advances one datapath cycle. It reports whether an exception was
+// raised this cycle.
+func (w *Watchdog) Tick() bool {
+	if w.rule.Fires != w.lastFires {
+		w.lastFires = w.rule.Fires
+		w.idle = 0
+		return false
+	}
+	w.idle++
+	if w.idle < w.Deadline {
+		return false
+	}
+	w.idle = 0
+	w.Exceptions++
+	if w.onExpire != nil {
+		w.onExpire()
+	}
+	return true
+}
+
+// Idle returns the cycles since the observed rule last fired.
+func (w *Watchdog) Idle() Value { return w.idle }
+
+// Reset clears the watchdog's state.
+func (w *Watchdog) Reset() {
+	w.idle = 0
+	w.lastFires = w.rule.Fires
+	w.Exceptions = 0
+}

@@ -1,0 +1,83 @@
+package countaction
+
+import "testing"
+
+func TestWatchdogRaisesOnStall(t *testing.T) {
+	r := New("streamer", 4, nil)
+	var exceptions int
+	w := NewWatchdog("streamer-stall", r, 3, func() { exceptions++ })
+	// The rule never fires: exception after exactly 3 idle cycles.
+	if w.Tick() || w.Tick() {
+		t.Fatal("exception raised early")
+	}
+	if !w.Tick() {
+		t.Fatal("exception not raised at deadline")
+	}
+	if exceptions != 1 || w.Exceptions != 1 {
+		t.Errorf("exceptions = %d/%d", exceptions, w.Exceptions)
+	}
+	// Rearmed: another deadline's worth of idle cycles raises again.
+	w.Tick()
+	w.Tick()
+	if !w.Tick() {
+		t.Error("watchdog did not rearm")
+	}
+}
+
+func TestWatchdogQuietWhileRuleFires(t *testing.T) {
+	r := New("adder", 1, nil)
+	w := NewWatchdog("adder-stall", r, 2, nil)
+	for cycle := 0; cycle < 20; cycle++ {
+		r.Add(1) // fires every cycle
+		if w.Tick() {
+			t.Fatalf("exception at cycle %d despite live rule", cycle)
+		}
+		if w.Idle() != 0 {
+			t.Fatalf("idle = %d with live rule", w.Idle())
+		}
+	}
+}
+
+func TestWatchdogRecoversAfterFiring(t *testing.T) {
+	r := New("r", 1, nil)
+	w := NewWatchdog("w", r, 5, nil)
+	w.Tick()
+	w.Tick()
+	if w.Idle() != 2 {
+		t.Errorf("idle = %d", w.Idle())
+	}
+	r.Add(1) // rule fires: idle resets on the next tick
+	if w.Tick() {
+		t.Error("exception despite recovery")
+	}
+	if w.Idle() != 0 {
+		t.Errorf("idle after recovery = %d", w.Idle())
+	}
+}
+
+func TestWatchdogReset(t *testing.T) {
+	r := New("r", 1, nil)
+	w := NewWatchdog("w", r, 1, nil)
+	w.Tick()
+	w.Reset()
+	if w.Exceptions != 0 || w.Idle() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestWatchdogValidation(t *testing.T) {
+	r := New("r", 1, nil)
+	for _, f := range []func(){
+		func() { NewWatchdog("w", nil, 1, nil) },
+		func() { NewWatchdog("w", r, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid watchdog accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+package cyclesim
+
+import (
+	"github.com/lightning-smartnic/lightning/internal/converter"
+	"github.com/lightning-smartnic/lightning/internal/countaction"
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// FCPipe is a clocked, three-stage pipelined implementation of the
+// fully-connected datapath:
+//
+//	FETCH  → [stepReg] → ANALOG/ADC → [partReg] → ACCUMULATE/TREE
+//
+// FETCH prepares one analog step descriptor per cycle (up to NumLanes
+// same-sign operand pairs, exactly the grouping the behavioural engine
+// uses); ANALOG drives the photonic core and digitizes the detector
+// reading; ACCUMULATE applies signs into the 16 adder lanes under a
+// count-action rule and folds the lanes through the adder tree when a
+// neuron's last partial arrives. Because every stage is registered, three
+// different neurons' work can be in flight simultaneously — the paper's
+// "pipelined photonic-electronic computing" (§4 steps 4–7).
+//
+// The pipeline's outputs are verified bit-exact against
+// datapath.Engine.ExecuteFC in the package tests, the architectural-model ↔
+// RTL cross-check of §6.1.
+type FCPipe struct {
+	core *photonic.Core
+	adc  *converter.ADC
+	gain int
+
+	// Prepared work: one entry per analog step, in engine order.
+	queue []stepDesc
+
+	stepReg Reg[stepDesc]
+	partReg Reg[partialDesc]
+
+	lanes   [datapath.Lanes]fixed.Acc
+	laneIdx int
+	// rule is the count-action unit counting accumulated partials; its
+	// target is retuned per neuron as the loader would program it.
+	rule *countaction.Rule
+
+	// Out collects completed neuron outputs in neuron order.
+	Out []fixed.Acc
+	// expected is the total neuron count of the loaded layer.
+	expected int
+	// perNeuron[j] is neuron j's partial count (the rule target).
+	perNeuron []int
+}
+
+// stepDesc describes one analog time step.
+type stepDesc struct {
+	valid  bool
+	w, x   []fixed.Code
+	neg    bool
+	last   bool // final step of its neuron
+	zero   bool // synthesized step for an all-zero neuron
+	neuron int
+}
+
+// partialDesc is one digitized partial result.
+type partialDesc struct {
+	valid  bool
+	code   fixed.Code
+	neg    bool
+	last   bool
+	neuron int
+}
+
+// NewFCPipe builds the pipeline over a fresh noise-free photonic core with
+// the given wavelength count. The ADC seed affects only idle noise, which
+// the pipeline never samples.
+func NewFCPipe(lanes int) (*FCPipe, error) {
+	core, err := photonic.NewCore(lanes, nil)
+	if err != nil {
+		return nil, err
+	}
+	core.FullScaleLanes = core.NumLanes()
+	p := &FCPipe{
+		core: core,
+		adc:  converter.NewADC(1),
+		gain: core.NumLanes(),
+	}
+	p.rule = countaction.New("partials-per-dot", 0, nil)
+	return p, nil
+}
+
+// Load prepares a fully-connected layer: weights[j] is neuron j's
+// sign/magnitude row, x the activation vector. Work is decomposed into
+// analog step descriptors using the engine's exact grouping: zero products
+// skipped, positive-weight pairs first, then negative, each chunked by the
+// core's wavelength count.
+func (p *FCPipe) Load(weights [][]fixed.Signed, x []fixed.Code) {
+	p.queue = p.queue[:0]
+	p.Out = p.Out[:0]
+	p.expected = len(weights)
+	p.perNeuron = make([]int, len(weights))
+	lanes := p.core.NumLanes()
+	for j, row := range weights {
+		var posW, negW, posX, negX []fixed.Code
+		for i, wi := range row {
+			if wi.Mag == 0 || x[i] == 0 {
+				continue
+			}
+			if wi.Neg {
+				negW = append(negW, wi.Mag)
+				negX = append(negX, x[i])
+			} else {
+				posW = append(posW, wi.Mag)
+				posX = append(posX, x[i])
+			}
+		}
+		start := len(p.queue)
+		for _, grp := range []struct {
+			w, x []fixed.Code
+			neg  bool
+		}{{posW, posX, false}, {negW, negX, true}} {
+			for off := 0; off < len(grp.w); off += lanes {
+				end := off + lanes
+				if end > len(grp.w) {
+					end = len(grp.w)
+				}
+				p.queue = append(p.queue, stepDesc{
+					valid: true, w: grp.w[off:end], x: grp.x[off:end],
+					neg: grp.neg, neuron: j,
+				})
+			}
+		}
+		if len(p.queue) == start {
+			// All-zero neuron: synthesize a zero-valued step so the
+			// accumulate stage still emits the neuron.
+			p.queue = append(p.queue, stepDesc{valid: true, neuron: j, zero: true, last: true})
+			p.perNeuron[j] = 1
+			continue
+		}
+		p.queue[len(p.queue)-1].last = true
+		p.perNeuron[j] = len(p.queue) - start
+	}
+}
+
+// Eval implements Clocked: the three stages run combinationally, each
+// reading the upstream register's latched output.
+func (p *FCPipe) Eval() {
+	// ACCUMULATE/TREE stage (reads partReg.Q).
+	if part := p.partReg.Q(); part.valid {
+		g := int32(part.code) * int32(p.gain)
+		if g > fixed.AccMax {
+			g = fixed.AccMax
+		}
+		v := fixed.Acc(g)
+		if part.neg {
+			p.lanes[p.laneIdx] = fixed.SatSub(p.lanes[p.laneIdx], v)
+		} else {
+			p.lanes[p.laneIdx] = fixed.SatAdd(p.lanes[p.laneIdx], v)
+		}
+		p.laneIdx = (p.laneIdx + 1) % datapath.Lanes
+		// The count-action rule tracks accumulated partials against the
+		// per-neuron target the loader programmed; its firing must agree
+		// with the dataflow's framing bit (a testbench assertion).
+		p.rule.SetTarget(countaction.Value(p.perNeuron[part.neuron]))
+		fired := p.rule.Add(1)
+		if fired != part.last {
+			panic("cyclesim: count-action firing disagrees with frame boundary")
+		}
+		if fired {
+			sum, _ := datapath.TreeSum(p.lanes[:])
+			p.Out = append(p.Out, sum)
+			p.lanes = [datapath.Lanes]fixed.Acc{}
+			p.laneIdx = 0
+		}
+	}
+
+	// ANALOG/ADC stage (reads stepReg.Q, drives partReg.D).
+	var part partialDesc
+	if step := p.stepReg.Q(); step.valid {
+		part.valid = true
+		part.neg = step.neg
+		part.last = step.last
+		part.neuron = step.neuron
+		if !step.zero {
+			part.code = p.adc.Quantize(p.core.Step(step.w, step.x))
+		}
+	}
+	p.partReg.SetD(part)
+
+	// FETCH stage (drives stepReg.D).
+	var next stepDesc
+	if len(p.queue) > 0 {
+		next = p.queue[0]
+		p.queue = p.queue[1:]
+	}
+	p.stepReg.SetD(next)
+}
+
+// Latch implements Clocked.
+func (p *FCPipe) Latch() {
+	p.stepReg.Latch()
+	p.partReg.Latch()
+}
+
+// Done reports whether every neuron's output has emerged.
+func (p *FCPipe) Done() bool { return len(p.Out) == p.expected }

@@ -1,0 +1,289 @@
+// Package dagloader implements Lightning's DAG configuration loader (§4
+// step 2, §5.4): it compiles a DNN's computation DAG into per-layer
+// count-action register programs, stores the model's quantized parameters in
+// off-chip DRAM, and — when an inference packet arrives — reconfigures the
+// datapath layer by layer and drives the photonic-electronic pipeline to
+// completion without control-plane involvement.
+package dagloader
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/countaction"
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+)
+
+// Control-register addresses for the datapath templates (Fig 11's
+// centralized control registers). Each layer's Program rewrites these.
+const (
+	// RegStreamerTarget is the synchronous data streamer's valid-count
+	// target (the number of parallel DACs, Listing 1).
+	RegStreamerTarget countaction.Addr = iota
+	// RegAdderPartials is the cross-cycle adder-subtractor target: the
+	// partial count per dot product (Listing 3).
+	RegAdderPartials
+	// RegNonlinearLen is the non-linear unit's element count per vector.
+	RegNonlinearLen
+	// RegLayerIn and RegLayerOut describe the layer geometry.
+	RegLayerIn
+	RegLayerOut
+	// RegActivation selects the non-linear function (datapath.Activation).
+	RegActivation
+	// RegShift is the requantization shift.
+	RegShift
+	// RegLast marks the final layer (result generation fires after it).
+	RegLast
+
+	// NumRegs is the register file size the loader requires.
+	NumRegs
+)
+
+// Program compilation turns each layer into a register image. The Weights
+// key locates the layer's parameters in DRAM.
+
+// LayerConfig pairs a compiled count-action program with its DRAM keys.
+type LayerConfig struct {
+	Program    countaction.Program
+	WeightsKey string
+	BiasKey    string
+	Activation datapath.Activation
+	Shift      uint
+	In, Out    int
+}
+
+// ModelConfig is a fully compiled model.
+type ModelConfig struct {
+	ID     uint16
+	Name   string
+	Layers []LayerConfig
+}
+
+// Compile translates a quantized network into per-layer programs. The paper
+// example: "the DAG configuration module loads the appropriate count-action
+// values for performing inference on the first layer of this model and
+// writes these parameters to the control registers".
+func Compile(id uint16, name string, q *nn.QuantizedNetwork, numDACs, numWavelengths int) *ModelConfig {
+	mc := &ModelConfig{ID: id, Name: name}
+	for l, ql := range q.Layers {
+		in := len(ql.Weights[0])
+		out := len(ql.Weights)
+		act := datapath.ActReLU
+		if ql.Final {
+			act = datapath.ActSoftmax
+		}
+		var p countaction.Program
+		p.Label = fmt.Sprintf("%s layer %d: fc %dx%d", name, l+1, in, out)
+		p.Set(RegStreamerTarget, countaction.Value(numDACs))
+		partials := (in + numWavelengths - 1) / numWavelengths
+		p.Set(RegAdderPartials, countaction.Value(partials))
+		p.Set(RegNonlinearLen, countaction.Value(out))
+		p.Set(RegLayerIn, countaction.Value(in))
+		p.Set(RegLayerOut, countaction.Value(out))
+		p.Set(RegActivation, countaction.Value(act))
+		p.Set(RegShift, countaction.Value(ql.Shift))
+		last := countaction.Value(0)
+		if ql.Final {
+			last = 1
+		}
+		p.Set(RegLast, last)
+		mc.Layers = append(mc.Layers, LayerConfig{
+			Program: p,
+			// Keys carry the wire ID, not just the name: two models may
+			// share a human-readable name but must never share weights.
+			WeightsKey: fmt.Sprintf("model%d-%s/layer%d/weights", id, name, l),
+			BiasKey:    fmt.Sprintf("model%d-%s/layer%d/bias", id, name, l),
+			Activation: act,
+			Shift:      ql.Shift,
+			In:         in,
+			Out:        out,
+		})
+	}
+	return mc
+}
+
+// EncodeWeights serializes a layer's sign/magnitude weight matrix for DRAM:
+// all magnitude bytes row-major, followed by a packed sign bitmap.
+func EncodeWeights(w [][]fixed.Signed) []byte {
+	rows, cols := len(w), len(w[0])
+	n := rows * cols
+	out := make([]byte, n+(n+7)/8)
+	for j, row := range w {
+		for i, s := range row {
+			idx := j*cols + i
+			out[idx] = byte(s.Mag)
+			if s.Neg {
+				out[n+idx/8] |= 1 << (idx % 8)
+			}
+		}
+	}
+	return out
+}
+
+// DecodeWeights reverses EncodeWeights given the matrix geometry.
+func DecodeWeights(blob []byte, rows, cols int) ([][]fixed.Signed, error) {
+	n := rows * cols
+	want := n + (n+7)/8
+	if len(blob) != want {
+		return nil, fmt.Errorf("dagloader: weight blob is %d bytes, want %d for %dx%d", len(blob), want, rows, cols)
+	}
+	w := make([][]fixed.Signed, rows)
+	for j := range w {
+		w[j] = make([]fixed.Signed, cols)
+		for i := range w[j] {
+			idx := j*cols + i
+			w[j][i] = fixed.Signed{
+				Mag: fixed.Code(blob[idx]),
+				Neg: blob[n+idx/8]&(1<<(idx%8)) != 0,
+			}
+		}
+	}
+	return w, nil
+}
+
+// EncodeBias serializes a bias vector as little-endian int16 words.
+func EncodeBias(b []fixed.Acc) []byte {
+	out := make([]byte, 2*len(b))
+	for i, v := range b {
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(v))
+	}
+	return out
+}
+
+// DecodeBias reverses EncodeBias.
+func DecodeBias(blob []byte) []fixed.Acc {
+	out := make([]fixed.Acc, len(blob)/2)
+	for i := range out {
+		out[i] = fixed.Acc(binary.LittleEndian.Uint16(blob[2*i:]))
+	}
+	return out
+}
+
+// Loader owns the datapath's control registers, the DRAM-resident model
+// store, and the compiled programs.
+type Loader struct {
+	Regs   *countaction.RegisterFile
+	DRAM   *mem.DRAM
+	Engine *datapath.Engine
+
+	models map[uint16]*ModelConfig
+
+	// Reconfigurations counts applied layer programs (each one is a pure
+	// register-write burst — the datapath never stops).
+	Reconfigurations uint64
+}
+
+// NewLoader wires a loader to an engine and DRAM.
+func NewLoader(engine *datapath.Engine, dram *mem.DRAM) *Loader {
+	return &Loader{
+		Regs:   countaction.NewRegisterFile(int(NumRegs)),
+		DRAM:   dram,
+		Engine: engine,
+		models: make(map[uint16]*ModelConfig),
+	}
+}
+
+// RegisterModel compiles a quantized network, stores its parameters in
+// DRAM, and makes it servable under the model ID.
+func (ld *Loader) RegisterModel(id uint16, name string, q *nn.QuantizedNetwork) error {
+	if _, dup := ld.models[id]; dup {
+		return fmt.Errorf("dagloader: model id %d already registered", id)
+	}
+	mc := Compile(id, name, q, ld.Engine.Core.NumLanes()*2, ld.Engine.Core.NumLanes())
+	for l, lc := range mc.Layers {
+		if err := ld.DRAM.Store(lc.WeightsKey, EncodeWeights(q.Layers[l].Weights)); err != nil {
+			return fmt.Errorf("storing %s: %w", lc.WeightsKey, err)
+		}
+		if err := ld.DRAM.Store(lc.BiasKey, EncodeBias(q.Layers[l].Bias)); err != nil {
+			return fmt.Errorf("storing %s: %w", lc.BiasKey, err)
+		}
+	}
+	ld.models[id] = mc
+	return nil
+}
+
+// UpdateModel replaces a registered model's parameters and programs in
+// place — the §6.1 PCIe path: "Lightning uses the PCIe interface to interact
+// with the local host for ... updating DNN model parameters". The new
+// network may have a different architecture; in-flight queries for the old
+// version complete before the swap (the caller serializes with Serve).
+func (ld *Loader) UpdateModel(id uint16, q *nn.QuantizedNetwork) error {
+	old, ok := ld.models[id]
+	if !ok {
+		return fmt.Errorf("dagloader: model id %d not registered", id)
+	}
+	for _, lc := range old.Layers {
+		ld.DRAM.Delete(lc.WeightsKey)
+		ld.DRAM.Delete(lc.BiasKey)
+	}
+	delete(ld.models, id)
+	if err := ld.RegisterModel(id, old.Name, q); err != nil {
+		return fmt.Errorf("dagloader: updating model %d: %w", id, err)
+	}
+	return nil
+}
+
+// Model returns a registered model's configuration.
+func (ld *Loader) Model(id uint16) (*ModelConfig, bool) {
+	mc, ok := ld.models[id]
+	return mc, ok
+}
+
+// Models returns the registered model count.
+func (ld *Loader) Models() int { return len(ld.models) }
+
+// Result is one served inference.
+type Result struct {
+	Class int
+	// Probs holds the final softmax probability codes.
+	Probs []fixed.Code
+	// Raw holds the final-layer logits.
+	Raw   []fixed.Acc
+	Stats datapath.LayerStats
+}
+
+// Serve runs one inference query through the reconfigurable datapath: for
+// each layer it applies the compiled program to the control registers,
+// streams the layer's weights from DRAM, and executes through the photonic
+// pipeline. Input length must match the model's first layer.
+func (ld *Loader) Serve(id uint16, input []fixed.Code) (*Result, error) {
+	mc, ok := ld.models[id]
+	if !ok {
+		return nil, fmt.Errorf("dagloader: unknown model id %d", id)
+	}
+	if len(input) != mc.Layers[0].In {
+		return nil, fmt.Errorf("dagloader: input length %d != model %s first-layer width %d",
+			len(input), mc.Name, mc.Layers[0].In)
+	}
+	var res Result
+	act := input
+	for _, lc := range mc.Layers {
+		lc.Program.Apply(ld.Regs)
+		ld.Reconfigurations++
+
+		blob, ok := ld.DRAM.Load(lc.WeightsKey)
+		if !ok {
+			return nil, fmt.Errorf("dagloader: weights %q missing from DRAM", lc.WeightsKey)
+		}
+		weights, err := DecodeWeights(blob, lc.Out, lc.In)
+		if err != nil {
+			return nil, err
+		}
+		biasBlob, _ := ld.DRAM.Load(lc.BiasKey)
+		bias := DecodeBias(biasBlob)
+
+		out := ld.Engine.ExecuteFCBias(weights, bias, act, lc.Activation, lc.Shift)
+		res.Stats.Add(out.Stats)
+		if ld.Regs.Read(RegLast) == 1 {
+			res.Raw = out.Raw
+			res.Probs = datapath.Softmax(out.Raw)
+			res.Class = datapath.Argmax(out.Raw)
+			return &res, nil
+		}
+		act = datapath.RequantizeVec(out.Raw, lc.Shift)
+	}
+	return nil, fmt.Errorf("dagloader: model %s has no final layer", mc.Name)
+}

@@ -1,0 +1,181 @@
+package datapath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// digitalAttention is the float reference for the 8-bit attention template,
+// mirroring its exact quantization points.
+func digitalAttention(wq, wk, wv [][]fixed.Signed, x []fixed.Code, spec AttentionSpec, projShift uint) []float64 {
+	d, seq := spec.D, spec.Seq
+	project := func(w [][]fixed.Signed) []fixed.Code {
+		out := make([]fixed.Code, seq*d)
+		for t := 0; t < seq; t++ {
+			for o := 0; o < d; o++ {
+				var s float64
+				for i := 0; i < d; i++ {
+					p := float64(w[o][i].Mag) * float64(x[t*d+i]) / 255
+					if w[o][i].Neg {
+						s -= p
+					} else {
+						s += p
+					}
+				}
+				out[t*d+o] = Requantize(fixed.Acc(clampI32(s)), projShift)
+			}
+		}
+		return out
+	}
+	q := project(wq)
+	k := project(wk)
+	v := project(wv)
+	out := make([]float64, seq*d)
+	for t := 0; t < seq; t++ {
+		row := make([]fixed.Acc, seq)
+		for j := 0; j < seq; j++ {
+			var s float64
+			for i := 0; i < d; i++ {
+				s += float64(q[t*d+i]) * float64(k[j*d+i]) / 255
+			}
+			row[j] = fixed.Acc(clampI32(s)) >> spec.ScoreShift
+		}
+		probs := Softmax(row)
+		for dd := 0; dd < d; dd++ {
+			var s float64
+			for j := 0; j < seq; j++ {
+				s += float64(probs[j]) * float64(v[j*d+dd]) / 255
+			}
+			out[t*d+dd] = s
+		}
+	}
+	return out
+}
+
+func clampI32(s float64) int32 {
+	if s > fixed.AccMax {
+		return fixed.AccMax
+	}
+	if s < fixed.AccMin {
+		return fixed.AccMin
+	}
+	return int32(math.Round(s))
+}
+
+func randProjection(rng *rand.Rand, d int) [][]fixed.Signed {
+	w := make([][]fixed.Signed, d)
+	for o := range w {
+		w[o] = make([]fixed.Signed, d)
+		for i := range w[o] {
+			w[o][i] = fixed.Signed{Mag: fixed.Code(rng.IntN(160)), Neg: rng.IntN(2) == 1}
+		}
+	}
+	return w
+}
+
+func TestExecuteAttentionMatchesDigital(t *testing.T) {
+	e := newTestEngine(t, 2, false)
+	spec := AttentionSpec{Seq: 4, D: 8, ScoreShift: 4, OutShift: 0}
+	rng := rand.New(rand.NewPCG(13, 13))
+	wq := randProjection(rng, spec.D)
+	wk := randProjection(rng, spec.D)
+	wv := randProjection(rng, spec.D)
+	x := make([]fixed.Code, spec.Seq*spec.D)
+	for i := range x {
+		x[i] = fixed.Code(rng.IntN(256))
+	}
+	res, err := e.ExecuteAttention(wq, wk, wv, x, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := digitalAttention(wq, wk, wv, x, spec, 3)
+	var maxErr float64
+	for i := range want {
+		if d := math.Abs(float64(res.Out[i]) - want[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	// The analog path accumulates quantization at four stages; stay within
+	// a few codes of the digital reference.
+	if maxErr > 10 {
+		t.Errorf("worst attention output error = %.1f codes", maxErr)
+	}
+	if res.Stats.PhotonicSteps == 0 {
+		t.Error("no photonic steps recorded")
+	}
+}
+
+func TestAttentionProbabilitiesAreDistributions(t *testing.T) {
+	e := newTestEngine(t, 2, false)
+	spec := AttentionSpec{Seq: 3, D: 4, ScoreShift: 2}
+	rng := rand.New(rand.NewPCG(3, 3))
+	w := randProjection(rng, spec.D)
+	x := make([]fixed.Code, spec.Seq*spec.D)
+	for i := range x {
+		x[i] = fixed.Code(rng.IntN(256))
+	}
+	res, err := e.ExecuteAttention(w, w, w, x, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 0; t2 < spec.Seq; t2++ {
+		var sum int
+		for j := 0; j < spec.Seq; j++ {
+			sum += int(res.Probs[t2*spec.Seq+j])
+		}
+		if sum < 250 || sum > 260 {
+			t.Errorf("row %d probability sum = %d, want ≈255", t2, sum)
+		}
+	}
+}
+
+func TestAttentionAttendsToSimilarToken(t *testing.T) {
+	// With identity-like projections, a token must attend most strongly to
+	// the token most similar to itself — itself.
+	e := newTestEngine(t, 2, false)
+	spec := AttentionSpec{Seq: 3, D: 4, ScoreShift: 5}
+	eye := make([][]fixed.Signed, spec.D)
+	for o := range eye {
+		eye[o] = make([]fixed.Signed, spec.D)
+		eye[o][o] = fixed.Signed{Mag: 255}
+	}
+	// Three nearly-orthogonal tokens.
+	x := []fixed.Code{
+		250, 10, 10, 10,
+		10, 250, 10, 10,
+		10, 10, 250, 10,
+	}
+	res, err := e.ExecuteAttention(eye, eye, eye, x, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 0; t2 < 3; t2++ {
+		self := res.Probs[t2*3+t2]
+		for j := 0; j < 3; j++ {
+			if j != t2 && res.Probs[t2*3+j] >= self {
+				t.Errorf("token %d attends to %d (%d) at least as much as itself (%d)",
+					t2, j, res.Probs[t2*3+j], self)
+			}
+		}
+	}
+}
+
+func TestAttentionValidation(t *testing.T) {
+	e := newTestEngine(t, 1, false)
+	spec := AttentionSpec{Seq: 2, D: 2}
+	w := [][]fixed.Signed{make([]fixed.Signed, 2), make([]fixed.Signed, 2)}
+	x := make([]fixed.Code, 4)
+	if _, err := e.ExecuteAttention(w, w, w, x, AttentionSpec{}, 0); err == nil {
+		t.Error("zero spec accepted")
+	}
+	if _, err := e.ExecuteAttention(w, w, w, x[:3], spec, 0); err == nil {
+		t.Error("wrong input length accepted")
+	}
+	bad := [][]fixed.Signed{make([]fixed.Signed, 2)}
+	if _, err := e.ExecuteAttention(bad, w, w, x, spec, 0); err == nil {
+		t.Error("wrong projection shape accepted")
+	}
+}

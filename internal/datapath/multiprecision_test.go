@@ -1,0 +1,146 @@
+package datapath
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+func TestMultiply16Ideal(t *testing.T) {
+	h, err := NewHighPrecisionCore(1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	const fullScale = 65535.0 * 65535.0
+	var worstAbs, worstRel float64
+	for i := 0; i < 300; i++ {
+		a := uint16(rng.IntN(65536))
+		b := uint16(rng.IntN(65536))
+		got := h.Multiply16(a, b)
+		want := float64(a) * float64(b)
+		if d := (got - want) / fullScale; d > worstAbs || -d > worstAbs {
+			if d < 0 {
+				d = -d
+			}
+			worstAbs = d
+		}
+		// Relative error is only meaningful for products that drive the
+		// high-limb core well above its error floor (≥25% of full
+		// scale); smaller products are characterized by the full-scale
+		// absolute bound below.
+		if want > fullScale*0.25 {
+			if e := RelativeError(got, want); e > worstRel {
+				worstRel = e
+			}
+		}
+	}
+	// Ideal channel: limited only by the per-core calibration residue and
+	// extinction floor, composed at full scale.
+	if worstAbs > 0.005 {
+		t.Errorf("worst full-scale error = %.4f%%", worstAbs*100)
+	}
+	if worstRel > 0.02 {
+		t.Errorf("worst relative error on large products = %.4f", worstRel)
+	}
+}
+
+func TestMultiply16Corners(t *testing.T) {
+	h, err := NewHighPrecisionCore(1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b uint16 }{
+		{0, 0}, {0, 65535}, {65535, 65535}, {256, 256}, {255, 255}, {1, 65535},
+	}
+	// Analog precision composes as absolute error at full scale: each
+	// corner must land within 0.5% of the 65535² full-scale range.
+	const fullScale = 65535.0 * 65535.0
+	for _, c := range cases {
+		got := h.Multiply16(c.a, c.b)
+		want := float64(c.a) * float64(c.b)
+		if d := got - want; d > fullScale*0.005 || d < -fullScale*0.005 {
+			t.Errorf("%d×%d = %.0f, want %.0f (err %.3g%% of full scale)",
+				c.a, c.b, got, want, (got-want)/fullScale*100)
+		}
+	}
+	// Zero-limb skip makes exact-zero products exactly zero.
+	if got := h.Multiply16(0, 65535); got != 0 {
+		t.Errorf("0×65535 = %v, want exactly 0 (digital skip)", got)
+	}
+}
+
+func TestDot16MatchesScalar(t *testing.T) {
+	h, err := NewHighPrecisionCore(2, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 32
+	a := make([]uint16, n)
+	b := make([]uint16, n)
+	var want float64
+	for i := range a {
+		a[i] = uint16(rng.IntN(65536))
+		b[i] = uint16(rng.IntN(65536))
+		want += float64(a[i]) * float64(b[i])
+	}
+	got := h.Dot16(a, b)
+	if e := RelativeError(got, want); e > 0.01 {
+		t.Errorf("Dot16 relative error = %.4f (got %.3g, want %.3g)", e, got, want)
+	}
+}
+
+func TestDot16PanicsOnMismatch(t *testing.T) {
+	h, _ := NewHighPrecisionCore(1, nil, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	h.Dot16([]uint16{1}, []uint16{1, 2})
+}
+
+func TestMultiply16WithNoiseDegradesGracefully(t *testing.T) {
+	// With the calibrated noise, 16-bit products stay within ~1% —
+	// precision extension does not blow up the analog error because the
+	// high-limb core dominates the magnitude.
+	h, err := NewHighPrecisionCore(1, photonic.CalibratedNoise(9), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	var sumRel float64
+	n := 200
+	for i := 0; i < n; i++ {
+		a := uint16(20000 + rng.IntN(45000))
+		b := uint16(20000 + rng.IntN(45000))
+		sumRel += RelativeError(h.Multiply16(a, b), float64(a)*float64(b))
+	}
+	if mean := sumRel / float64(n); mean > 0.02 {
+		t.Errorf("mean relative error under noise = %.4f", mean)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if RelativeError(5, 0) != 1 {
+		t.Error("x/0 should be 1")
+	}
+	if RelativeError(90, 100) != 0.1 {
+		t.Error("basic case wrong")
+	}
+	if RelativeError(-110, -100) != 0.1 {
+		t.Error("negative case wrong")
+	}
+}
+
+func TestLimbs(t *testing.T) {
+	hi, lo := limbs(0xabcd)
+	if hi != 0xab || lo != 0xcd {
+		t.Errorf("limbs = %x, %x", hi, lo)
+	}
+}

@@ -1,0 +1,277 @@
+package datapath
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/converter"
+	"github.com/lightning-smartnic/lightning/internal/countaction"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// Activation selects the digital non-linear function applied to a layer's
+// dot-product results.
+type Activation int
+
+// Supported activations and their pipeline cycle costs (§5.3 footnote 3).
+const (
+	ActIdentity Activation = iota
+	ActReLU
+	ActSoftmax
+)
+
+// Cycles returns the activation's pipeline latency in digital clock cycles.
+func (a Activation) Cycles() int {
+	switch a {
+	case ActReLU:
+		return CyclesReLU
+	case ActSoftmax:
+		return CyclesSoftmax
+	default:
+		return 0
+	}
+}
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case ActReLU:
+		return "relu"
+	case ActSoftmax:
+		return "softmax"
+	default:
+		return "identity"
+	}
+}
+
+// LayerStats is the cycle accounting for one executed layer, split the way
+// Fig 15 splits latency: compute (photonic steps + adders + non-linearity)
+// versus datapath (preambles, ADC framing, configuration).
+type LayerStats struct {
+	// PhotonicSteps is the number of analog time steps performed.
+	PhotonicSteps uint64
+	// ComputeCycles is the digital-clock cost of compute stages.
+	ComputeCycles uint64
+	// DatapathCycles is the digital-clock cost of datapath overheads.
+	DatapathCycles uint64
+	// SaturatedSamples counts ADC samples that clipped at the rails.
+	SaturatedSamples uint64
+	// PreambleMisses counts vectors whose preamble was not detected (the
+	// exception path that punts to the control plane).
+	PreambleMisses uint64
+}
+
+// Add accumulates another layer's stats.
+func (s *LayerStats) Add(o LayerStats) {
+	s.PhotonicSteps += o.PhotonicSteps
+	s.ComputeCycles += o.ComputeCycles
+	s.DatapathCycles += o.DatapathCycles
+	s.SaturatedSamples += o.SaturatedSamples
+	s.PreambleMisses += o.PreambleMisses
+}
+
+// TotalCycles is the layer's end-to-end digital-clock cost.
+func (s LayerStats) TotalCycles() uint64 { return s.ComputeCycles + s.DatapathCycles }
+
+// Seconds converts total cycles to wall time at the prototype clock.
+func (s LayerStats) Seconds() float64 {
+	return float64(s.TotalCycles()) / converter.DigitalClockHz
+}
+
+// Engine executes DNN layers on a photonic core through the full prototype
+// datapath: operand streams with preambles through DACs, analog dot-product
+// steps, phase-unknown ADC readout, count-action preamble detection,
+// cross-cycle sign reassembly, the intra-cycle adder tree, and the
+// non-linear unit. It is the software twin of Fig 13's datapath.
+type Engine struct {
+	Core     *photonic.Core
+	ADC      *converter.ADC
+	Preamble PreambleConfig
+	Regs     *countaction.RegisterFile
+
+	detector *Detector
+}
+
+// NewEngine builds an engine over the given core. seed drives the ADC's
+// readout phase and idle noise. The engine configures the core's detector
+// full scale to span all wavelength lanes so that multi-wavelength
+// accumulations never clip the ADC; the cross-cycle adder re-applies the
+// known gain digitally.
+func NewEngine(core *photonic.Core, seed uint64) *Engine {
+	core.FullScaleLanes = core.NumLanes()
+	return &Engine{
+		Core:     core,
+		ADC:      converter.NewADC(seed),
+		Preamble: PrototypePreamble(),
+		Regs:     countaction.NewRegisterFile(64),
+		detector: NewDetector(PrototypePreamble()),
+	}
+}
+
+// dotSigned computes one output neuron's dot product W·x through the analog
+// and digital pipeline. Weights are sign/magnitude; activations are
+// non-negative codes. Elements are grouped by weight sign so that every
+// photonic accumulation step carries a single sign, which the cross-cycle
+// adder-subtractor applies when reassembling (§5.3, Appendix C).
+func (e *Engine) dotSigned(w []fixed.Signed, x []fixed.Code, adder *CrossCycleAdder, stats *LayerStats) fixed.Acc {
+	if len(w) != len(x) {
+		panic(fmt.Sprintf("datapath: weight row length %d != activation length %d", len(w), len(x)))
+	}
+	var posW, negW, posX, negX []fixed.Code
+	for i, wi := range w {
+		if wi.Mag == 0 || x[i] == 0 {
+			continue // zero products need no analog step (sparse skip)
+		}
+		if wi.Neg {
+			negW = append(negW, wi.Mag)
+			negX = append(negX, x[i])
+		} else {
+			posW = append(posW, wi.Mag)
+			posX = append(posX, x[i])
+		}
+	}
+
+	// Run the two same-sign groups through the photonic core and collect
+	// the analog partials with their sign controls.
+	var analog []float64
+	var negs []bool
+	for _, grp := range []struct {
+		w, x []fixed.Code
+		neg  bool
+	}{{posW, posX, false}, {negW, negX, true}} {
+		if len(grp.w) == 0 {
+			continue
+		}
+		parts := e.Core.DotPartials(grp.w, grp.x)
+		stats.PhotonicSteps += uint64(len(parts))
+		for _, p := range parts {
+			analog = append(analog, p)
+			negs = append(negs, grp.neg)
+		}
+	}
+	if len(analog) == 0 {
+		return 0
+	}
+
+	// ADC readout at an arbitrary phase, preceded by the preamble the
+	// datapath prepended to the vector.
+	preCodes := e.Preamble.Prepend(nil)
+	burst := make([]float64, 0, len(preCodes)+len(analog))
+	for _, c := range preCodes {
+		burst = append(burst, float64(c))
+	}
+	burst = append(burst, analog...)
+	phase := e.ADC.RandomPhase()
+	frames := e.ADC.ReadoutFrames(burst, phase)
+	stats.DatapathCycles += uint64(len(frames))
+
+	// Count-action preamble detection locates the meaningful samples.
+	e.detector.Reset()
+	detPhase, _, ok := e.detector.Detect(frames)
+	if !ok {
+		stats.PreambleMisses++
+		detPhase = phase // exception path: fall back to known phase
+	}
+	payload := e.detector.ExtractPayload(frames, detPhase, len(analog))
+
+	// Cross-cycle sign reassembly and the intra-cycle adder tree.
+	adder.SetPartialsPerDot(len(payload))
+	for i := 0; i < len(payload); i += Lanes {
+		end := i + Lanes
+		if end > len(payload) {
+			end = len(payload)
+		}
+		for _, s := range payload[i:end] {
+			if s == fixed.MaxCode {
+				stats.SaturatedSamples++
+			}
+		}
+		adder.Accumulate(payload[i:end], negs[i:end])
+		stats.ComputeCycles++
+	}
+	lanes := adder.Drain()
+	sum, treeCycles := TreeSum(lanes[:])
+	stats.ComputeCycles += uint64(treeCycles)
+	return sum
+}
+
+// FCResult is the output of one fully-connected layer execution.
+type FCResult struct {
+	// Raw holds the 16-bit accumulator outputs after the activation.
+	Raw []fixed.Acc
+	// Quantized holds the 8-bit activation codes after requantization,
+	// ready to stream into the next layer.
+	Quantized []fixed.Code
+	// Probs holds softmax probability codes when the activation was
+	// softmax, else nil.
+	Probs []fixed.Code
+	Stats LayerStats
+}
+
+// ExecuteFC runs a fully-connected layer without bias; see ExecuteFCBias.
+func (e *Engine) ExecuteFC(weights [][]fixed.Signed, x []fixed.Code, act Activation, requantShift uint) FCResult {
+	return e.ExecuteFCBias(weights, nil, x, act, requantShift)
+}
+
+// ExecuteFCBias runs a fully-connected layer:
+// out[j] = act(Σ_i W[j][i]·x[i] + bias[j]). The bias (in raw accumulator
+// units) is added digitally after the intra-cycle adder tree. requantShift
+// is the per-layer right-shift mapping 16-bit accumulators back onto 8-bit
+// activation codes for the next layer (computed offline by the DAG loader
+// together with the weight scales).
+func (e *Engine) ExecuteFCBias(weights [][]fixed.Signed, bias []fixed.Acc, x []fixed.Code, act Activation, requantShift uint) FCResult {
+	var res FCResult
+	adder := NewCrossCycleAdder(1)
+	adder.Gain = e.Core.FullScaleLanes
+	res.Raw = make([]fixed.Acc, len(weights))
+	// Fixed per-layer datapath overhead: DAG configuration register writes
+	// and stream setup (the 193 ns/layer of §9 at 253.44 MHz ≈ 49 cycles).
+	res.Stats.DatapathCycles += PerLayerOverheadCycles
+	for j, row := range weights {
+		res.Raw[j] = e.dotSigned(row, x, adder, &res.Stats)
+		if j < len(bias) {
+			res.Raw[j] = fixed.SatAdd(res.Raw[j], bias[j])
+		}
+	}
+	switch act {
+	case ActReLU:
+		res.Raw = ReLUVec(res.Raw)
+		res.Stats.ComputeCycles += CyclesReLU
+	case ActSoftmax:
+		res.Probs = Softmax(res.Raw)
+		res.Stats.ComputeCycles += CyclesSoftmax
+	}
+	res.Quantized = RequantizeVec(res.Raw, requantShift)
+	return res
+}
+
+// PerLayerOverheadCycles is the fixed datapath cost per layer measured from
+// the prototype: 193 ns at the 253.44 MHz clock (§9, Table 6 footnote 4:
+// "this datapath latency covers the time it takes to perform
+// Lightning-specific functions like DACs, ADCs, and count-action modules").
+const PerLayerOverheadCycles = 49
+
+// Requantize maps a 16-bit accumulator onto an 8-bit activation code by an
+// arithmetic right shift with saturation. Negative values clamp to zero:
+// activations entering the photonic domain must be non-negative light
+// intensities, and every supported activation (ReLU, softmax) is
+// non-negative anyway.
+func Requantize(x fixed.Acc, shift uint) fixed.Code {
+	if x <= 0 {
+		return 0
+	}
+	v := int32(x) >> shift
+	if v > fixed.MaxCode {
+		return fixed.MaxCode
+	}
+	return fixed.Code(v)
+}
+
+// RequantizeVec applies Requantize element-wise.
+func RequantizeVec(xs []fixed.Acc, shift uint) []fixed.Code {
+	out := make([]fixed.Code, len(xs))
+	for i, x := range xs {
+		out[i] = Requantize(x, shift)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package datapath implements Lightning's digital datapath modules, each
+// driven by the count-action abstraction of §5: the synchronous data
+// streamer (§5.1), preamble generation and detection (§5.2), the pipeline
+// parallel adder and non-linear units (§5.3), and the layer execution engine
+// that ties them to the photonic core.
+package datapath
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/converter"
+	"github.com/lightning-smartnic/lightning/internal/countaction"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Preamble voltage levels: H is a high sample, L a low sample.
+const (
+	HighLevel fixed.Code = 255
+	LowLevel  fixed.Code = 0
+)
+
+// Matching thresholds separating H/L from each other and from the
+// idle-channel noise floor. A sample above HighThreshold reads as H; below
+// LowThreshold as L; anything between matches neither.
+const (
+	HighThreshold fixed.Code = 192
+	LowThreshold  fixed.Code = 64
+)
+
+// Pattern is a single-cycle preamble pattern: exactly one digital clock
+// cycle's worth of H/L samples (true = H). The prototype uses
+// HHHHHHHHLLLLLLLL (§6.3).
+type Pattern [converter.SamplesPerCycle]bool
+
+// PrototypePattern returns the testbed's pattern: 8 high then 8 low samples.
+func PrototypePattern() Pattern {
+	var p Pattern
+	for i := 0; i < converter.SamplesPerCycle/2; i++ {
+		p[i] = true
+	}
+	return p
+}
+
+// ParsePattern builds a pattern from a string of 'H' and 'L' runes, e.g.
+// "HHHHHHHHLLLLLLLL".
+func ParsePattern(s string) (Pattern, error) {
+	var p Pattern
+	if len(s) != converter.SamplesPerCycle {
+		return p, fmt.Errorf("datapath: pattern %q must have %d symbols", s, converter.SamplesPerCycle)
+	}
+	for i, r := range s {
+		switch r {
+		case 'H':
+			p[i] = true
+		case 'L':
+			p[i] = false
+		default:
+			return p, fmt.Errorf("datapath: pattern symbol %q at %d (want H or L)", r, i)
+		}
+	}
+	return p, nil
+}
+
+// String renders the pattern as H/L symbols.
+func (p Pattern) String() string {
+	b := make([]byte, len(p))
+	for i, h := range p {
+		if h {
+			b[i] = 'H'
+		} else {
+			b[i] = 'L'
+		}
+	}
+	return string(b)
+}
+
+// Codes expands the pattern into analog sample codes.
+func (p Pattern) Codes() []fixed.Code {
+	out := make([]fixed.Code, len(p))
+	for i, h := range p {
+		if h {
+			out[i] = HighLevel
+		} else {
+			out[i] = LowLevel
+		}
+	}
+	return out
+}
+
+// Shifted returns the pattern as it appears in a readout frame when the
+// analog burst started k sample positions into a cycle: sample j of the
+// frame carries pattern position (j-k) mod 16, i.e. the pattern rotated
+// right by k (Listing 2's "preamble_pattern << k").
+func (p Pattern) Shifted(k int) Pattern {
+	var out Pattern
+	n := len(p)
+	for j := 0; j < n; j++ {
+		out[j] = p[((j-k)%n+n)%n]
+	}
+	return out
+}
+
+// MatchFrame reports whether an ADC readout frame structurally matches the
+// pattern under the H/L thresholds.
+func (p Pattern) MatchFrame(f converter.Frame) bool {
+	for i, h := range p {
+		if h {
+			if f[i] < HighThreshold {
+				return false
+			}
+		} else {
+			if f[i] > LowThreshold {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PreambleConfig selects the preamble for a deployment. P is chosen by SNR
+// conditions, not by model ("P is a configurable parameter that is
+// model-agnostic and only depends on the signal-to-noise ratio of the
+// setup"). The prototype repeats its pattern ten times.
+type PreambleConfig struct {
+	Pattern Pattern
+	// Repetitions is P: how many times the single-cycle pattern repeats.
+	Repetitions int
+	// MinMatches, when positive, relaxes Listing 2's exact-count targets:
+	// a shift fires after MinMatches pattern observations instead of P
+	// (or P−1). Listing 2's exact counts are the clean-channel special
+	// case; on a noisy channel a corrupted repetition would otherwise
+	// strand the count one short of the target forever, so deployments
+	// trade preamble overhead (larger P) for corruption slack
+	// (MinMatches < P−1). Zero selects the paper's exact-count rule.
+	MinMatches int
+}
+
+// PrototypePreamble is the testbed configuration: HHHHHHHHLLLLLLLL ×10.
+func PrototypePreamble() PreambleConfig {
+	return PreambleConfig{Pattern: PrototypePattern(), Repetitions: 10}
+}
+
+// Samples returns the preamble's total sample count.
+func (c PreambleConfig) Samples() int {
+	return c.Repetitions * converter.SamplesPerCycle
+}
+
+// Prepend returns the preamble followed by the payload vector — what the
+// datapath streams into a DAC for each vector (§5.2: "Lightning adds a
+// preamble pattern to each vector in the digital domain before streaming its
+// data into the DACs").
+func (c PreambleConfig) Prepend(payload []fixed.Code) []fixed.Code {
+	out := make([]fixed.Code, 0, c.Samples()+len(payload))
+	pat := c.Pattern.Codes()
+	for i := 0; i < c.Repetitions; i++ {
+		out = append(out, pat...)
+	}
+	return append(out, payload...)
+}
+
+// Detector implements the preamble_detection_per_ADC module of Listing 2
+// with one count-action rule per shift k: the k=0 rule targets P counts and
+// each k>0 rule targets P-1 (the first, partial repetition never matches a
+// shifted pattern).
+type Detector struct {
+	Config PreambleConfig
+	Module *countaction.Module
+
+	rules    [converter.SamplesPerCycle]*countaction.Rule
+	shifted  [converter.SamplesPerCycle]Pattern
+	detected int // -1 until a rule fires
+}
+
+// NewDetector builds a detector for the preamble configuration.
+func NewDetector(cfg PreambleConfig) *Detector {
+	if cfg.Repetitions < 2 {
+		panic("datapath: preamble needs at least 2 repetitions to detect shifted bursts")
+	}
+	d := &Detector{
+		Config:   cfg,
+		Module:   countaction.NewModule("preamble_detection_per_ADC"),
+		detected: -1,
+	}
+	for k := 0; k < converter.SamplesPerCycle; k++ {
+		k := k
+		target := countaction.Value(cfg.Repetitions)
+		if k != 0 {
+			target = countaction.Value(cfg.Repetitions - 1)
+		}
+		if cfg.MinMatches > 0 && countaction.Value(cfg.MinMatches) < target {
+			target = countaction.Value(cfg.MinMatches)
+		}
+		d.shifted[k] = cfg.Pattern.Shifted(k)
+		d.rules[k] = d.Module.Attach(countaction.New(
+			fmt.Sprintf("shift-%02d", k), target,
+			func() { d.detected = k },
+		))
+	}
+	return d
+}
+
+// Reset rearms the detector for the next vector.
+func (d *Detector) Reset() {
+	d.detected = -1
+	d.Module.Reset()
+}
+
+// Offer feeds one ADC readout frame to the detector. It returns the detected
+// phase k (the position of the first meaningful sample within a cycle,
+// triggering the "stream ADC.data[k:]" action) and true once the preamble
+// has been counted the required number of times; until then it returns
+// (-1, false).
+func (d *Detector) Offer(f converter.Frame) (phase int, ok bool) {
+	if d.detected >= 0 {
+		return d.detected, true
+	}
+	for k := range d.rules {
+		d.rules[k].Observe(d.shifted[k].MatchFrame(f))
+		if d.detected >= 0 {
+			return d.detected, true
+		}
+	}
+	return -1, false
+}
+
+// Detect runs the detector across a whole readout burst and returns the
+// phase and the index of the frame at which detection completed.
+func (d *Detector) Detect(frames []converter.Frame) (phase, frameIdx int, ok bool) {
+	for i, f := range frames {
+		if k, done := d.Offer(f); done {
+			return k, i, true
+		}
+	}
+	return -1, len(frames), false
+}
+
+// ExtractPayload removes the preamble from a readout burst given the
+// detected phase: it returns the meaningful samples starting right after the
+// preamble's end. The preamble occupies phase + P·16 samples from the start
+// of the burst's first frame.
+func (d *Detector) ExtractPayload(frames []converter.Frame, phase, payloadLen int) []fixed.Code {
+	flat := make([]fixed.Code, 0, len(frames)*converter.SamplesPerCycle)
+	for _, f := range frames {
+		flat = append(flat, f[:]...)
+	}
+	start := phase + d.Config.Samples()
+	if start > len(flat) {
+		return nil
+	}
+	end := start + payloadLen
+	if end > len(flat) {
+		end = len(flat)
+	}
+	return flat[start:end]
+}

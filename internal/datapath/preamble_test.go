@@ -1,0 +1,192 @@
+package datapath
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/converter"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func TestParsePattern(t *testing.T) {
+	p, err := ParsePattern("HHHHHHHHLLLLLLLL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != PrototypePattern() {
+		t.Errorf("parsed %v != prototype", p)
+	}
+	if p.String() != "HHHHHHHHLLLLLLLL" {
+		t.Errorf("String = %q", p.String())
+	}
+	if _, err := ParsePattern("HHLL"); err == nil {
+		t.Error("short pattern accepted")
+	}
+	if _, err := ParsePattern("HHHHHHHHLLLLLLLX"); err == nil {
+		t.Error("bad symbol accepted")
+	}
+}
+
+func TestPatternCodes(t *testing.T) {
+	c := PrototypePattern().Codes()
+	if c[0] != HighLevel || c[15] != LowLevel {
+		t.Errorf("codes = %v", c)
+	}
+}
+
+func TestShiftedRotation(t *testing.T) {
+	p := PrototypePattern()
+	s := p.Shifted(6)
+	// Position j carries pattern position (j-6) mod 16: positions 0–5 come
+	// from pattern tail (L), 6–13 from pattern head (H).
+	want := "LLLLLLHHHHHHHHLL"
+	if s.String() != want {
+		t.Errorf("Shifted(6) = %v, want %v", s, want)
+	}
+	if p.Shifted(0) != p {
+		t.Error("Shifted(0) changed pattern")
+	}
+	if p.Shifted(16) != p {
+		t.Error("Shifted(16) != identity")
+	}
+}
+
+func TestMatchFrameThresholds(t *testing.T) {
+	p := PrototypePattern()
+	var f converter.Frame
+	for i := 0; i < 8; i++ {
+		f[i] = 250 // noisy H
+	}
+	for i := 8; i < 16; i++ {
+		f[i] = 10 // noisy L
+	}
+	if !p.MatchFrame(f) {
+		t.Error("noisy pattern did not match")
+	}
+	f[3] = 100 // mid-range: neither H nor L
+	if p.MatchFrame(f) {
+		t.Error("corrupted pattern matched")
+	}
+}
+
+func TestPrependLayout(t *testing.T) {
+	cfg := PrototypePreamble()
+	payload := []fixed.Code{9, 8, 7}
+	out := cfg.Prepend(payload)
+	if len(out) != cfg.Samples()+3 {
+		t.Fatalf("len = %d, want %d", len(out), cfg.Samples()+3)
+	}
+	if out[0] != HighLevel || out[8] != LowLevel {
+		t.Error("preamble head wrong")
+	}
+	if out[cfg.Samples()] != 9 {
+		t.Error("payload not after preamble")
+	}
+}
+
+func TestDetectorAllPhases(t *testing.T) {
+	// Fig 9: for every readout phase, detection returns the exact position
+	// of the first meaningful sample.
+	cfg := PrototypePreamble()
+	payload := make([]fixed.Code, 37)
+	for i := range payload {
+		payload[i] = fixed.Code(50 + i*3)
+	}
+	burst := cfg.Prepend(payload)
+	analog := make([]float64, len(burst))
+	for i, c := range burst {
+		analog[i] = float64(c)
+	}
+	for phase := 0; phase < converter.SamplesPerCycle; phase++ {
+		adc := converter.NewADC(uint64(phase + 1))
+		frames := adc.ReadoutFrames(analog, phase)
+		d := NewDetector(cfg)
+		got, frameIdx, ok := d.Detect(frames)
+		if !ok {
+			t.Fatalf("phase %d: not detected", phase)
+		}
+		if got != phase {
+			t.Fatalf("phase %d: detected %d", phase, got)
+		}
+		if frameIdx >= cfg.Repetitions+1 {
+			t.Errorf("phase %d: detection too late (frame %d)", phase, frameIdx)
+		}
+		// Extraction must recover the exact payload.
+		ext := d.ExtractPayload(frames, got, len(payload))
+		if len(ext) != len(payload) {
+			t.Fatalf("phase %d: extracted %d samples, want %d", phase, len(ext), len(payload))
+		}
+		for i := range payload {
+			if ext[i] != payload[i] {
+				t.Fatalf("phase %d: payload[%d] = %d, want %d", phase, i, ext[i], payload[i])
+			}
+		}
+	}
+}
+
+func TestDetectorRejectsPureNoise(t *testing.T) {
+	adc := converter.NewADC(5)
+	d := NewDetector(PrototypePreamble())
+	// Noise-only frames (empty burst → all idle noise).
+	frames := adc.ReadoutFrames(make([]float64, 0), 0)
+	for i := 0; i < 100; i++ {
+		frames = append(frames, adc.ReadoutFrames(make([]float64, 0), 0)...)
+	}
+	if _, _, ok := d.Detect(frames); ok {
+		t.Error("detector fired on pure noise")
+	}
+}
+
+func TestDetectorCountTargets(t *testing.T) {
+	// Listing 2: the 0-shift rule targets P, every other shift P−1.
+	d := NewDetector(PrototypePreamble())
+	snap := d.Module.Snapshot()
+	for _, s := range snap {
+		want := int64(9)
+		if s.Name == "shift-00" {
+			want = 10
+		}
+		if s.Target != want {
+			t.Errorf("%s target = %d, want %d", s.Name, s.Target, want)
+		}
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	cfg := PrototypePreamble()
+	adc := converter.NewADC(2)
+	burst := cfg.Prepend([]fixed.Code{100})
+	analog := make([]float64, len(burst))
+	for i, c := range burst {
+		analog[i] = float64(c)
+	}
+	d := NewDetector(cfg)
+	if _, _, ok := d.Detect(adc.ReadoutFrames(analog, 3)); !ok {
+		t.Fatal("first detection failed")
+	}
+	d.Reset()
+	if phase, ok := d.Offer(converter.Frame{}); ok || phase != -1 {
+		t.Error("Reset did not rearm detector")
+	}
+	// And it detects again at a different phase.
+	if got, _, ok := d.Detect(adc.ReadoutFrames(analog, 11)); !ok || got != 11 {
+		t.Errorf("second detection: phase=%d ok=%v", got, ok)
+	}
+}
+
+func TestNewDetectorRequiresRepetitions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-repetition preamble accepted")
+		}
+	}()
+	NewDetector(PreambleConfig{Pattern: PrototypePattern(), Repetitions: 1})
+}
+
+func TestExtractPayloadTruncated(t *testing.T) {
+	d := NewDetector(PrototypePreamble())
+	// Burst shorter than the preamble: nothing to extract.
+	frames := []converter.Frame{{}}
+	if got := d.ExtractPayload(frames, 0, 5); got != nil {
+		t.Errorf("extracted %v from short burst", got)
+	}
+}

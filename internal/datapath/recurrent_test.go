@@ -1,0 +1,158 @@
+package datapath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func rnnParams(rng *rand.Rand, hidden, in int) ([][]fixed.Signed, [][]fixed.Signed, []fixed.Acc) {
+	mk := func(rows, cols int) [][]fixed.Signed {
+		w := make([][]fixed.Signed, rows)
+		for j := range w {
+			w[j] = make([]fixed.Signed, cols)
+			for i := range w[j] {
+				w[j][i] = fixed.Signed{Mag: fixed.Code(rng.IntN(120)), Neg: rng.IntN(2) == 1}
+			}
+		}
+		return w
+	}
+	bias := make([]fixed.Acc, hidden)
+	for j := range bias {
+		bias[j] = fixed.Acc(rng.IntN(64))
+	}
+	return mk(hidden, in), mk(hidden, hidden), bias
+}
+
+// digitalRNNStep is the reference for one cell step.
+func digitalRNNStep(wx, wh [][]fixed.Signed, bias []fixed.Acc, x, h []fixed.Code, shift uint) []fixed.Code {
+	hidden := len(wx)
+	dot := func(w []fixed.Signed, v []fixed.Code) float64 {
+		var s float64
+		for i := range w {
+			p := float64(w[i].Mag) * float64(v[i]) / 255
+			if w[i].Neg {
+				s -= p
+			} else {
+				s += p
+			}
+		}
+		return s
+	}
+	out := make([]fixed.Code, hidden)
+	for j := 0; j < hidden; j++ {
+		s := dot(wx[j], x) + float64(bias[j]) + dot(wh[j], h)
+		if s < 0 {
+			s = 0
+		}
+		out[j] = Requantize(fixed.Acc(clampI32(s)), shift)
+	}
+	return out
+}
+
+func TestRNNCellStepMatchesDigital(t *testing.T) {
+	e := newTestEngine(t, 2, false)
+	rng := rand.New(rand.NewPCG(21, 21))
+	spec := RNNSpec{In: 12, Hidden: 6, Shift: 1, Act: ActReLU}
+	wx, wh, bias := rnnParams(rng, spec.Hidden, spec.In)
+	cell, err := NewRNNCell(spec, wx, wh, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hRef := make([]fixed.Code, spec.Hidden)
+	for step := 0; step < 4; step++ {
+		x := make([]fixed.Code, spec.In)
+		for i := range x {
+			x[i] = fixed.Code(rng.IntN(256))
+		}
+		got, stats, err := cell.Step(e, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hRef = digitalRNNStep(wx, wh, bias, x, hRef, spec.Shift)
+		for j := range hRef {
+			if math.Abs(float64(got[j])-float64(hRef[j])) > 4 {
+				t.Errorf("step %d hidden[%d] = %d, want %d", step, j, got[j], hRef[j])
+			}
+			// Keep the reference aligned with the analog path so
+			// quantization drift doesn't compound across steps.
+			hRef[j] = got[j]
+		}
+		if stats.PhotonicSteps == 0 {
+			t.Error("no photonic work")
+		}
+	}
+	if cell.Steps != 4 {
+		t.Errorf("Steps = %d", cell.Steps)
+	}
+}
+
+func TestRNNCellStatePersistsAndResets(t *testing.T) {
+	e := newTestEngine(t, 2, false)
+	spec := RNNSpec{In: 2, Hidden: 2, Act: ActReLU}
+	wx := [][]fixed.Signed{{{Mag: 255}, {}}, {{}, {Mag: 255}}}
+	wh := [][]fixed.Signed{{{Mag: 128}, {}}, {{}, {Mag: 128}}}
+	cell, err := NewRNNCell(spec, wx, wh, []fixed.Acc{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []fixed.Code{100, 100}
+	h1, _, _ := cell.Step(e, x)
+	h2, _, _ := cell.Step(e, x)
+	// The recurrent term makes the second state larger than the first.
+	if h2[0] <= h1[0] {
+		t.Errorf("state not accumulating: %d then %d", h1[0], h2[0])
+	}
+	cell.Reset()
+	if cell.Hidden()[0] != 0 || cell.Steps != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestRNNRunSequence(t *testing.T) {
+	e := newTestEngine(t, 2, false)
+	rng := rand.New(rand.NewPCG(4, 4))
+	spec := RNNSpec{In: 8, Hidden: 4, Shift: 1, Act: ActReLU}
+	wx, wh, bias := rnnParams(rng, spec.Hidden, spec.In)
+	cell, err := NewRNNCell(spec, wx, wh, bias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([][]fixed.Code, 5)
+	for i := range tokens {
+		tokens[i] = make([]fixed.Code, spec.In)
+		for j := range tokens[i] {
+			tokens[i][j] = fixed.Code(rng.IntN(256))
+		}
+	}
+	h, stats, err := cell.RunSequence(e, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != spec.Hidden {
+		t.Errorf("hidden width = %d", len(h))
+	}
+	if stats.PhotonicSteps == 0 || cell.Steps != 5 {
+		t.Errorf("sequence accounting: steps=%d photonic=%d", cell.Steps, stats.PhotonicSteps)
+	}
+	// A malformed token aborts with position info.
+	if _, _, err := cell.RunSequence(e, [][]fixed.Code{make([]fixed.Code, 3)}); err == nil {
+		t.Error("bad token accepted")
+	}
+}
+
+func TestNewRNNCellValidation(t *testing.T) {
+	ok := [][]fixed.Signed{{{}, {}}, {{}, {}}}
+	if _, err := NewRNNCell(RNNSpec{}, ok, ok, nil); err == nil {
+		t.Error("zero spec accepted")
+	}
+	if _, err := NewRNNCell(RNNSpec{In: 3, Hidden: 2}, ok, ok, nil); err == nil {
+		t.Error("Wx shape mismatch accepted")
+	}
+	wx := [][]fixed.Signed{make([]fixed.Signed, 3), make([]fixed.Signed, 3)}
+	if _, err := NewRNNCell(RNNSpec{In: 3, Hidden: 2}, wx, wx, nil); err == nil {
+		t.Error("Wh shape mismatch accepted")
+	}
+}

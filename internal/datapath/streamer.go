@@ -1,0 +1,119 @@
+package datapath
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/axi"
+	"github.com/lightning-smartnic/lightning/internal/converter"
+	"github.com/lightning-smartnic/lightning/internal/countaction"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Streamer is the synchronous data streamer of §5.1 (Listing 1). It owns the
+// parallel DAC lanes and, each digital clock cycle, counts Σ DAC[i].valid
+// with a count-action rule whose target is the number of DACs. Only when
+// every lane holds valid data does it stream a cycle's worth of samples into
+// the photonic cores — guaranteeing element-wise alignment of the operand
+// vectors even when off-chip memory delivers one lane late (requirement R3).
+type Streamer struct {
+	DACs   []*converter.DAC
+	Module *countaction.Module
+
+	rule *countaction.Rule
+	sink func(lanes [][]fixed.Code)
+
+	// Cycles counts digital clock cycles ticked; StallCycles counts the
+	// cycles where at least one DAC was starved and nothing streamed.
+	Cycles, StallCycles uint64
+}
+
+// NewStreamer builds a streamer over n DAC lanes with the given per-lane
+// FIFO depth. sink receives each streamed cycle: one SamplesPerCycle-long
+// slice per lane ("stream DAC[i].data into photonic cores").
+func NewStreamer(n, fifoDepth int, sink func(lanes [][]fixed.Code)) *Streamer {
+	if n <= 0 {
+		panic("datapath: streamer needs at least one DAC")
+	}
+	s := &Streamer{
+		DACs:   make([]*converter.DAC, n),
+		Module: countaction.NewModule("synchronous_data_streamer"),
+		sink:   sink,
+	}
+	for i := range s.DACs {
+		s.DACs[i] = converter.NewDAC(fifoDepth)
+	}
+	s.rule = s.Module.Attach(countaction.New("sum-dac-valid", countaction.Value(n), nil))
+	return s
+}
+
+// Feed pushes samples into lane i's DAC FIFO, returning how many were
+// accepted before back-pressure.
+func (s *Streamer) Feed(lane int, samples []fixed.Code) int {
+	if lane < 0 || lane >= len(s.DACs) {
+		panic(fmt.Sprintf("datapath: feed to lane %d of %d", lane, len(s.DACs)))
+	}
+	accepted := 0
+	for _, c := range samples {
+		if err := s.DACs[lane].In.Push(axi.Beat[fixed.Code]{Data: c}); err != nil {
+			break
+		}
+		accepted++
+	}
+	return accepted
+}
+
+// Tick advances one digital clock cycle: the count-action rule checks
+// Σ DAC[i].valid against the DAC count; on a hit every lane emits its
+// parallel samples into the sink. It reports whether data streamed.
+func (s *Streamer) Tick() bool {
+	s.Cycles++
+	var sum countaction.Value
+	for _, d := range s.DACs {
+		sum += d.ValidCount()
+	}
+	if !s.rule.Check(sum) {
+		s.StallCycles++
+		return false
+	}
+	// Element-wise correctness (R3) requires the lanes to advance in
+	// lockstep: emit the same sample count from every DAC this cycle,
+	// bounded by the shallowest lane and the converter parallelism.
+	n := converter.SamplesPerCycle
+	for _, d := range s.DACs {
+		if l := d.In.Len(); l < n {
+			n = l
+		}
+	}
+	lanes := make([][]fixed.Code, len(s.DACs))
+	for i, d := range s.DACs {
+		lanes[i] = d.EmitN(n)
+	}
+	if s.sink != nil {
+		s.sink(lanes)
+	}
+	return true
+}
+
+// Pending reports the deepest lane occupancy, for drain loops.
+func (s *Streamer) Pending() int {
+	max := 0
+	for _, d := range s.DACs {
+		if n := d.In.Len(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Run ticks until every lane drains or maxCycles elapses, returning the
+// number of cycles consumed. It is the test harness's convenience loop; the
+// NIC engine ticks the streamer itself.
+func (s *Streamer) Run(maxCycles int) int {
+	for c := 0; c < maxCycles; c++ {
+		s.Tick()
+		if s.Pending() == 0 {
+			return c + 1
+		}
+	}
+	return maxCycles
+}

@@ -1,0 +1,123 @@
+package datapath
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func TestStreamerWaitsForAllLanes(t *testing.T) {
+	var streamed [][][]fixed.Code
+	s := NewStreamer(2, 64, func(lanes [][]fixed.Code) {
+		cp := make([][]fixed.Code, len(lanes))
+		for i := range lanes {
+			cp[i] = append([]fixed.Code(nil), lanes[i]...)
+		}
+		streamed = append(streamed, cp)
+	})
+	// Only lane 0 has data: Listing 1's count (Σvalid = 1 < 2) must block.
+	s.Feed(0, []fixed.Code{1, 2, 3})
+	if s.Tick() {
+		t.Fatal("streamed with a starved lane")
+	}
+	if s.StallCycles != 1 {
+		t.Errorf("StallCycles = %d", s.StallCycles)
+	}
+	// Lane 1 catches up (late DRAM read): now both stream in lockstep.
+	s.Feed(1, []fixed.Code{9, 8, 7})
+	if !s.Tick() {
+		t.Fatal("did not stream with both lanes valid")
+	}
+	if len(streamed) != 1 {
+		t.Fatalf("streamed %d cycles", len(streamed))
+	}
+	if streamed[0][0][0] != 1 || streamed[0][1][0] != 9 {
+		t.Errorf("lane data = %v", streamed[0])
+	}
+}
+
+func TestStreamerSynchronizationUnderJitter(t *testing.T) {
+	// Property R3: regardless of how raggedly the lanes are fed, the i-th
+	// sample of lane 0 must stream in the same cycle as the i-th sample of
+	// lane 1.
+	type pair struct{ a, b fixed.Code }
+	var got []pair
+	s := NewStreamer(2, 1024, func(lanes [][]fixed.Code) {
+		n := len(lanes[0])
+		if len(lanes[1]) < n {
+			n = len(lanes[1])
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, pair{lanes[0][i], lanes[1][i]})
+		}
+	})
+	// Feed 256 paired samples with deliberately mismatched burst sizes.
+	next := 0
+	fedA, fedB := 0, 0
+	for cycle := 0; next < 256 || s.Pending() > 0; cycle++ {
+		if next < 256 {
+			// Lane 0 gets bursts of 7, lane 1 bursts of 13.
+			for fedA < 256 && fedA < (cycle+1)*7 {
+				s.Feed(0, []fixed.Code{fixed.Code(fedA)})
+				fedA++
+			}
+			for fedB < 256 && fedB < (cycle+1)*13 {
+				s.Feed(1, []fixed.Code{fixed.Code(fedB)})
+				fedB++
+			}
+			next = fedA
+		}
+		s.Tick()
+		if cycle > 10000 {
+			t.Fatal("streamer livelock")
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing streamed")
+	}
+	for i, p := range got {
+		if p.a != p.b {
+			t.Fatalf("desync at sample %d: lane0=%d lane1=%d", i, p.a, p.b)
+		}
+	}
+}
+
+func TestStreamerFeedBackPressure(t *testing.T) {
+	s := NewStreamer(1, 4, nil)
+	if n := s.Feed(0, []fixed.Code{1, 2, 3, 4, 5, 6}); n != 4 {
+		t.Errorf("Feed accepted %d, want 4", n)
+	}
+}
+
+func TestStreamerFeedPanicsOnBadLane(t *testing.T) {
+	s := NewStreamer(1, 4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad lane did not panic")
+		}
+	}()
+	s.Feed(1, []fixed.Code{1})
+}
+
+func TestStreamerRunDrains(t *testing.T) {
+	s := NewStreamer(2, 64, nil)
+	s.Feed(0, make([]fixed.Code, 40))
+	s.Feed(1, make([]fixed.Code, 40))
+	cycles := s.Run(100)
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after Run", s.Pending())
+	}
+	// 40 samples at 16/cycle → 3 cycles.
+	if cycles != 3 {
+		t.Errorf("Run took %d cycles, want 3", cycles)
+	}
+}
+
+func TestNewStreamerValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStreamer(0) did not panic")
+		}
+	}()
+	NewStreamer(0, 1, nil)
+}

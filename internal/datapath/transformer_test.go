@@ -1,0 +1,151 @@
+package datapath
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int, mag int) [][]fixed.Signed {
+	w := make([][]fixed.Signed, rows)
+	for j := range w {
+		w[j] = make([]fixed.Signed, cols)
+		for i := range w[j] {
+			w[j][i] = fixed.Signed{Mag: fixed.Code(rng.IntN(mag)), Neg: rng.IntN(2) == 1}
+		}
+	}
+	return w
+}
+
+func testBlock(t *testing.T, rng *rand.Rand) (*TransformerBlock, TransformerSpec) {
+	t.Helper()
+	spec := TransformerSpec{
+		Seq: 3, D: 8, Heads: 2, FFN: 16,
+		AttnSpec: AttentionSpec{ScoreShift: 3, OutShift: 0},
+		FFNShift: 3, OutShift: 3, ProjShift: 2,
+	}
+	blk, err := NewTransformerBlock(spec,
+		randMatrix(rng, spec.D, spec.D, 120),
+		randMatrix(rng, spec.D, spec.D, 120),
+		randMatrix(rng, spec.D, spec.D, 120),
+		randMatrix(rng, spec.FFN, spec.D, 120),
+		randMatrix(rng, spec.D, spec.FFN, 120),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk, spec
+}
+
+func TestTransformerBlockExecutes(t *testing.T) {
+	e := newTestEngine(t, 2, false)
+	rng := rand.New(rand.NewPCG(31, 31))
+	blk, spec := testBlock(t, rng)
+	x := make([]fixed.Code, spec.Seq*spec.D)
+	for i := range x {
+		x[i] = fixed.Code(rng.IntN(256))
+	}
+	out, stats, err := blk.Execute(e, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != spec.Seq*spec.D {
+		t.Fatalf("output width = %d", len(out))
+	}
+	if stats.PhotonicSteps == 0 || stats.ComputeCycles == 0 {
+		t.Errorf("stats empty: %+v", stats)
+	}
+	// Residual paths guarantee the output carries the input's energy:
+	// all-zero output would mean the residuals were dropped.
+	var sum int
+	for _, c := range out {
+		sum += int(c)
+	}
+	if sum == 0 {
+		t.Error("block output all-zero despite residual connections")
+	}
+}
+
+func TestTransformerBlockDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	blk, spec := testBlock(t, rng)
+	x := make([]fixed.Code, spec.Seq*spec.D)
+	for i := range x {
+		x[i] = fixed.Code(i * 11 % 256)
+	}
+	e1 := newTestEngine(t, 2, false)
+	e2 := newTestEngine(t, 2, false)
+	o1, _, err := blk.Execute(e1, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _, err := blk.Execute(e2, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+}
+
+func TestTransformerResidualPassThrough(t *testing.T) {
+	// With all-zero weights, attention and FFN contribute nothing except
+	// the uniform attention average of zero values: the block reduces to
+	// its residual connections and must return the input (double residual
+	// saturating at 255).
+	e := newTestEngine(t, 2, false)
+	spec := TransformerSpec{
+		Seq: 2, D: 4, Heads: 1, FFN: 4,
+		AttnSpec: AttentionSpec{ScoreShift: 1},
+	}
+	zeros := func(r, c int) [][]fixed.Signed {
+		w := make([][]fixed.Signed, r)
+		for j := range w {
+			w[j] = make([]fixed.Signed, c)
+		}
+		return w
+	}
+	blk, err := NewTransformerBlock(spec, zeros(4, 4), zeros(4, 4), zeros(4, 4), zeros(4, 4), zeros(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []fixed.Code{10, 20, 30, 40, 50, 60, 70, 80}
+	out, _, err := blk.Execute(e, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if out[i] != x[i] {
+			t.Errorf("out[%d] = %d, want %d (pure residual)", i, out[i], x[i])
+		}
+	}
+}
+
+func TestTransformerValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	d4 := randMatrix(rng, 4, 4, 10)
+	if _, err := NewTransformerBlock(TransformerSpec{Seq: 2, D: 4, Heads: 3, FFN: 4},
+		d4, d4, d4, d4, d4); err == nil {
+		t.Error("D not divisible by Heads accepted")
+	}
+	if _, err := NewTransformerBlock(TransformerSpec{}, d4, d4, d4, d4, d4); err == nil {
+		t.Error("zero spec accepted")
+	}
+	if _, err := NewTransformerBlock(TransformerSpec{Seq: 2, D: 4, Heads: 2, FFN: 8},
+		d4, d4, d4, d4, d4); err == nil {
+		t.Error("wrong FFN shape accepted")
+	}
+	blk, err := NewTransformerBlock(TransformerSpec{Seq: 2, D: 4, Heads: 2, FFN: 4,
+		AttnSpec: AttentionSpec{ScoreShift: 1}},
+		d4, d4, d4, randMatrix(rng, 4, 4, 10), randMatrix(rng, 4, 4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, 2, false)
+	if _, _, err := blk.Execute(e, make([]fixed.Code, 3)); err == nil {
+		t.Error("wrong input width accepted")
+	}
+}

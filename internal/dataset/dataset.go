@@ -1,0 +1,202 @@
+// Package dataset provides the synthetic workloads that stand in for the
+// paper's proprietary or large external datasets (see DESIGN.md §2):
+//
+//   - Digits: a procedurally generated 10-class handwritten-digit-like glyph
+//     task replacing MNIST for the LeNet experiments (Fig 15/16). Glyphs are
+//     seven-segment renderings with random translation, thickness and pixel
+//     noise — a learnable but non-trivial classification task exercising the
+//     identical inference datapath.
+//   - Anomaly: a 2-class flow-feature task replacing UNSW-NB15 for the
+//     security model (§6.3).
+//   - IoTTraffic: a 10-class flow-feature task replacing the IoT traces for
+//     the traffic-classification model (§6.3).
+//
+// All generators are deterministic under a seed.
+package dataset
+
+import (
+	"math/rand/v2"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Example is one labelled sample: an 8-bit feature vector (image pixels or
+// flow features) and its class.
+type Example struct {
+	X     []fixed.Code
+	Label int
+}
+
+// Set is a labelled dataset.
+type Set struct {
+	Name    string
+	Classes int
+	// Width is the feature vector length.
+	Width    int
+	Examples []Example
+}
+
+// Floats returns example i's features normalized to [0, 1].
+func (s *Set) Floats(i int) []float64 {
+	out := make([]float64, len(s.Examples[i].X))
+	for j, c := range s.Examples[i].X {
+		out[j] = c.Unit()
+	}
+	return out
+}
+
+// Split partitions the set into train and test subsets at the given train
+// fraction.
+func (s *Set) Split(trainFrac float64) (train, test *Set) {
+	n := int(float64(len(s.Examples)) * trainFrac)
+	train = &Set{Name: s.Name + "/train", Classes: s.Classes, Width: s.Width, Examples: s.Examples[:n]}
+	test = &Set{Name: s.Name + "/test", Classes: s.Classes, Width: s.Width, Examples: s.Examples[n:]}
+	return train, test
+}
+
+// DigitSide is the default glyph image side length; the digit task has
+// DigitSide² inputs.
+const DigitSide = 16
+
+// MNISTSide is the side length matching the paper's MNIST inputs (28×28),
+// used by the full-scale LeNet-300-100 experiment.
+const MNISTSide = 28
+
+// segments lists, per digit, the lit seven-segment elements
+// (A top, B upper-right, C lower-right, D bottom, E lower-left,
+// F upper-left, G middle).
+var segments = [10][7]bool{
+	{true, true, true, true, true, true, false},     // 0
+	{false, true, true, false, false, false, false}, // 1
+	{true, true, false, true, true, false, true},    // 2
+	{true, true, true, true, false, false, true},    // 3
+	{false, true, true, false, false, true, true},   // 4
+	{true, false, true, true, false, true, true},    // 5
+	{true, false, true, true, true, true, true},     // 6
+	{true, true, true, false, false, false, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// Digits generates n glyph examples with uniformly random classes at the
+// default 16×16 size.
+func Digits(n int, seed uint64) *Set { return DigitsSized(n, DigitSide, seed) }
+
+// DigitsSized generates glyphs at the given square image side (e.g.
+// MNISTSide for the full-scale LeNet-300-100 experiment).
+func DigitsSized(n, side int, seed uint64) *Set {
+	if side < 12 {
+		panic("dataset: digit glyphs need at least a 12-pixel side")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xd161))
+	s := &Set{Name: "digits", Classes: 10, Width: side * side}
+	for i := 0; i < n; i++ {
+		label := rng.IntN(10)
+		s.Examples = append(s.Examples, Example{X: renderDigit(label, side, rng), Label: label})
+	}
+	return s
+}
+
+// renderDigit draws a seven-segment digit into a side² image with random
+// translation, stroke intensity, and additive pixel noise.
+func renderDigit(d, side int, rng *rand.Rand) []fixed.Code {
+	img := make([]float64, side*side)
+	// Glyph box scales with the image: roughly half the width, 2/3 the
+	// height, positioned with jitter.
+	w := side/2 - 1
+	h := side*2/3 + 1
+	jitter := side / 8
+	ox := (side-w)/2 + rng.IntN(2*jitter+1) - jitter
+	oy := (side-h)/2 + rng.IntN(2*jitter+1) - jitter
+	intensity := 0.7 + 0.3*rng.Float64()
+
+	set := func(x, y int, v float64) {
+		if x < 0 || y < 0 || x >= side || y >= side {
+			return
+		}
+		i := y*side + x
+		if v > img[i] {
+			img[i] = v
+		}
+	}
+	hline := func(y, x0, x1 int) {
+		for x := x0; x <= x1; x++ {
+			set(ox+x, oy+y, intensity)
+			set(ox+x, oy+y+1, intensity*0.8)
+		}
+	}
+	vline := func(x, y0, y1 int) {
+		for y := y0; y <= y1; y++ {
+			set(ox+x, oy+y, intensity)
+			set(ox+x+1, oy+y, intensity*0.8)
+		}
+	}
+	seg := segments[d]
+	if seg[0] { // A: top
+		hline(0, 0, w-1)
+	}
+	if seg[1] { // B: upper right
+		vline(w-1, 0, h/2)
+	}
+	if seg[2] { // C: lower right
+		vline(w-1, h/2, h-1)
+	}
+	if seg[3] { // D: bottom
+		hline(h-1, 0, w-1)
+	}
+	if seg[4] { // E: lower left
+		vline(0, h/2, h-1)
+	}
+	if seg[5] { // F: upper left
+		vline(0, 0, h/2)
+	}
+	if seg[6] { // G: middle
+		hline(h/2, 0, w-1)
+	}
+
+	out := make([]fixed.Code, len(img))
+	for i, v := range img {
+		v += 0.05 * rng.Float64() // background noise
+		out[i] = fixed.FromUnit(v)
+	}
+	return out
+}
+
+// FlowFeatureWidth is the flow-classification feature vector length, matching
+// the NIC models' 32-feature input.
+const FlowFeatureWidth = 32
+
+// flowSet generates class-conditional Gaussian-cluster feature vectors: each
+// class has a random center in feature space; examples scatter around it.
+func flowSet(name string, classes, n int, spread float64, seed uint64) *Set {
+	rng := rand.New(rand.NewPCG(seed, 0xf10f))
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, FlowFeatureWidth)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64()
+		}
+	}
+	s := &Set{Name: name, Classes: classes, Width: FlowFeatureWidth}
+	for i := 0; i < n; i++ {
+		label := rng.IntN(classes)
+		x := make([]fixed.Code, FlowFeatureWidth)
+		for j := range x {
+			v := centers[label][j] + spread*rng.NormFloat64()
+			x[j] = fixed.FromUnit(v)
+		}
+		s.Examples = append(s.Examples, Example{X: x, Label: label})
+	}
+	return s
+}
+
+// Anomaly generates the 2-class network-anomaly task (UNSW-NB15 stand-in):
+// benign traffic clusters tightly; attacks scatter from a distinct center.
+func Anomaly(n int, seed uint64) *Set {
+	return flowSet("anomaly", 2, n, 0.08, seed)
+}
+
+// IoTTraffic generates the 10-class IoT device-classification task.
+func IoTTraffic(n int, seed uint64) *Set {
+	return flowSet("iot-traffic", 10, n, 0.06, seed)
+}

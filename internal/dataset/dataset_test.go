@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestDigitsShapeAndDeterminism(t *testing.T) {
+	a := Digits(50, 7)
+	if a.Classes != 10 || a.Width != DigitSide*DigitSide {
+		t.Errorf("set meta = %+v", a)
+	}
+	if len(a.Examples) != 50 {
+		t.Fatalf("examples = %d", len(a.Examples))
+	}
+	for i, ex := range a.Examples {
+		if len(ex.X) != a.Width {
+			t.Fatalf("example %d width = %d", i, len(ex.X))
+		}
+		if ex.Label < 0 || ex.Label > 9 {
+			t.Fatalf("example %d label = %d", i, ex.Label)
+		}
+	}
+	b := Digits(50, 7)
+	for i := range a.Examples {
+		if a.Examples[i].Label != b.Examples[i].Label {
+			t.Fatal("same seed, different labels")
+		}
+		for j := range a.Examples[i].X {
+			if a.Examples[i].X[j] != b.Examples[i].X[j] {
+				t.Fatal("same seed, different pixels")
+			}
+		}
+	}
+}
+
+func TestDigitsClassesAreDistinguishable(t *testing.T) {
+	// Mean images of distinct classes must differ substantially —
+	// otherwise the task is unlearnable.
+	s := Digits(2000, 3)
+	means := make([][]float64, 10)
+	counts := make([]int, 10)
+	for c := range means {
+		means[c] = make([]float64, s.Width)
+	}
+	for _, ex := range s.Examples {
+		for j, px := range ex.X {
+			means[ex.Label][j] += px.Unit()
+		}
+		counts[ex.Label]++
+	}
+	for c := range means {
+		if counts[c] == 0 {
+			t.Fatalf("class %d absent from 2000 samples", c)
+		}
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	// Compare 1 vs 8: maximally different segment sets.
+	var dist float64
+	for j := range means[1] {
+		d := means[1][j] - means[8][j]
+		dist += d * d
+	}
+	if dist < 1 {
+		t.Errorf("class 1 vs 8 mean distance² = %v, want > 1", dist)
+	}
+}
+
+func TestDigitsHaveInkAndBackground(t *testing.T) {
+	s := Digits(10, 1)
+	for i, ex := range s.Examples {
+		var bright, dark int
+		for _, px := range ex.X {
+			if px > 150 {
+				bright++
+			}
+			if px < 40 {
+				dark++
+			}
+		}
+		if bright < 5 {
+			t.Errorf("example %d has %d bright pixels", i, bright)
+		}
+		if dark < 50 {
+			t.Errorf("example %d has %d dark pixels", i, dark)
+		}
+	}
+}
+
+func TestDigitsSized28(t *testing.T) {
+	s := DigitsSized(50, MNISTSide, 9)
+	if s.Width != 784 {
+		t.Fatalf("width = %d, want 784", s.Width)
+	}
+	// Glyphs must still have ink and background at MNIST scale.
+	for i, ex := range s.Examples[:10] {
+		var bright int
+		for _, px := range ex.X {
+			if px > 150 {
+				bright++
+			}
+		}
+		if bright < 10 {
+			t.Errorf("example %d has %d bright pixels", i, bright)
+		}
+	}
+}
+
+func TestDigitsSizedPanicsOnTinySide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny side accepted")
+		}
+	}()
+	DigitsSized(1, 8, 1)
+}
+
+func TestSplit(t *testing.T) {
+	s := Digits(100, 2)
+	train, test := s.Split(0.8)
+	if len(train.Examples) != 80 || len(test.Examples) != 20 {
+		t.Errorf("split = %d/%d", len(train.Examples), len(test.Examples))
+	}
+	if train.Classes != 10 || test.Width != s.Width {
+		t.Error("split lost metadata")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	s := Digits(1, 2)
+	f := s.Floats(0)
+	if len(f) != s.Width {
+		t.Fatalf("floats len = %d", len(f))
+	}
+	for _, v := range f {
+		if v < 0 || v > 1 {
+			t.Fatalf("float %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestFlowSetsSeparable(t *testing.T) {
+	for _, mk := range []struct {
+		name    string
+		set     *Set
+		classes int
+	}{
+		{"anomaly", Anomaly(500, 5), 2},
+		{"iot", IoTTraffic(500, 5), 10},
+	} {
+		if mk.set.Classes != mk.classes || mk.set.Width != FlowFeatureWidth {
+			t.Errorf("%s meta = %+v", mk.name, mk.set)
+		}
+		// Nearest-centroid must beat chance comfortably: compute class
+		// centroids from the first half, classify the second half.
+		half := len(mk.set.Examples) / 2
+		cents := make([][]float64, mk.classes)
+		counts := make([]int, mk.classes)
+		for c := range cents {
+			cents[c] = make([]float64, mk.set.Width)
+		}
+		for _, ex := range mk.set.Examples[:half] {
+			for j, px := range ex.X {
+				cents[ex.Label][j] += px.Unit()
+			}
+			counts[ex.Label]++
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range cents[c] {
+				cents[c][j] /= float64(counts[c])
+			}
+		}
+		correct := 0
+		for _, ex := range mk.set.Examples[half:] {
+			best, bestD := -1, 1e18
+			for c := range cents {
+				var d float64
+				for j, px := range ex.X {
+					dd := px.Unit() - cents[c][j]
+					d += dd * dd
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best == ex.Label {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(mk.set.Examples)-half)
+		if acc < 0.9 {
+			t.Errorf("%s nearest-centroid accuracy = %.2f, want > 0.9", mk.name, acc)
+		}
+	}
+}

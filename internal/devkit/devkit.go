@@ -1,0 +1,129 @@
+// Package devkit is the programmatic form of the paper's developer kit
+// (Appendix G): the Python API's three use cases — benchmarking photonic
+// MAC accuracy, characterizing SNR for calibration, and configuring
+// modulator bias voltages — exposed over the calibrated Go photonic core.
+// The lightning-devkit command is a thin wrapper over this package.
+package devkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+	"github.com/lightning-smartnic/lightning/internal/stats"
+)
+
+// Kit wraps a prototype-configuration photonic core for interactive use.
+type Kit struct {
+	Core *photonic.Core
+}
+
+// New builds a kit over the two-wavelength prototype core with the raw
+// testbed noise (Fig 18), as the developer kit's micro-benchmarks see it.
+func New(seed uint64) (*Kit, error) {
+	core, err := photonic.NewPrototypeCore(seed)
+	if err != nil {
+		return nil, fmt.Errorf("devkit: %w", err)
+	}
+	return &Kit{Core: core}, nil
+}
+
+// DotProduct computes Σ x_i·w_i on the core's wavelengths for normalized
+// operands in [0, 1] — the Appendix G notebook's primitive. Vectors longer
+// than the wavelength count stream over multiple analog steps.
+func (k *Kit) DotProduct(x, w []float64) (float64, error) {
+	if len(x) != len(w) {
+		return 0, fmt.Errorf("devkit: operand lengths %d and %d differ", len(x), len(w))
+	}
+	xs := make([]fixed.Code, len(x))
+	ws := make([]fixed.Code, len(w))
+	for i := range x {
+		xs[i] = fixed.FromUnit(x[i])
+		ws[i] = fixed.FromUnit(w[i])
+	}
+	return k.Core.Dot(xs, ws) / 255, nil
+}
+
+// MACResult is one accuracy micro-benchmark outcome.
+type MACResult struct {
+	Photonic, GroundTruth float64
+	// ErrorPct is the deviation in percent of the ground truth.
+	ErrorPct float64
+}
+
+// MAC runs the Appendix G example: a two-element photonic vector dot
+// product with normalized operands.
+func (k *Kit) MAC(x1, w1, x2, w2 float64) (MACResult, error) {
+	got, err := k.DotProduct([]float64{x1, x2}, []float64{w1, w2})
+	if err != nil {
+		return MACResult{}, err
+	}
+	want := x1*w1 + x2*w2
+	res := MACResult{Photonic: got, GroundTruth: want}
+	if want != 0 {
+		res.ErrorPct = (got - want) / want * 100
+	}
+	return res, nil
+}
+
+// SNRPoint characterizes one drive level.
+type SNRPoint struct {
+	Level     fixed.Code
+	Mean, Std float64
+	SNRdB     float64
+}
+
+// CharacterizeSNR repeats multiplications at several drive levels and fits
+// the per-level statistics — the calibration sweep of the Python API's
+// second use case.
+func (k *Kit) CharacterizeSNR(levels []fixed.Code, repeats int) []SNRPoint {
+	if repeats <= 0 {
+		repeats = 100
+	}
+	out := make([]SNRPoint, 0, len(levels))
+	for _, level := range levels {
+		samples := make([]float64, repeats)
+		for i := range samples {
+			samples[i] = k.Core.Multiply(level, 255)
+		}
+		g := stats.FitGaussian(samples)
+		p := SNRPoint{Level: level, Mean: g.Mean, Std: g.Sigma}
+		if g.Sigma > 0 && g.Mean > 0 {
+			p.SNRdB = 20 * math.Log10(g.Mean/g.Sigma)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// DefaultLevels is the standard SNR sweep grid.
+func DefaultLevels() []fixed.Code {
+	return []fixed.Code{32, 64, 96, 128, 160, 192, 224, 255}
+}
+
+// BiasReport is the outcome of the bias configuration use case.
+type BiasReport struct {
+	LockedBias             float64
+	NullTransmission       float64
+	PeakTransmission       float64
+	EncodingLo, EncodingHi float64
+}
+
+// ConfigureBias sweeps and locks a fresh modulator with a random intrinsic
+// phase, returning the locked operating point — the third use case.
+func ConfigureBias(seed uint64) BiasReport {
+	rng := rand.New(rand.NewPCG(seed, 0xb1a5))
+	m := photonic.NewMZModulator(rng.Float64()*4 - 2)
+	bc := photonic.NewBiasController()
+	lock := bc.Lock(m, 1)
+	lo, hi := m.EncodingRange()
+	return BiasReport{
+		LockedBias:       lock,
+		NullTransmission: m.Transmission(0),
+		PeakTransmission: m.Transmission(m.Vpi),
+		EncodingLo:       lo,
+		EncodingHi:       hi,
+	}
+}

@@ -1,0 +1,101 @@
+package devkit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func TestMACMatchesAppendixGExample(t *testing.T) {
+	// Appendix G's notebook: x1=0.85, w1=0.26, x2=0.5, w2=0.93 → 0.66,
+	// with the prototype returning ≈0.664 (≈0.6% error).
+	k, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.MAC(0.85, 0.26, 0.5, 0.93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.GroundTruth-0.686) > 1e-9 {
+		t.Errorf("ground truth = %v", res.GroundTruth)
+	}
+	if math.Abs(res.Photonic-res.GroundTruth) > 0.03 {
+		t.Errorf("photonic = %v, want ≈%v", res.Photonic, res.GroundTruth)
+	}
+	if math.Abs(res.ErrorPct) > 5 {
+		t.Errorf("error = %v%%", res.ErrorPct)
+	}
+}
+
+func TestDotProductLongVector(t *testing.T) {
+	k, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 10)
+	w := make([]float64, 10)
+	var want float64
+	for i := range x {
+		x[i] = float64(i) / 10
+		w[i] = 1 - float64(i)/10
+		want += x[i] * w[i]
+	}
+	got, err := k.DotProduct(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("dot = %v, want %v", got, want)
+	}
+	if _, err := k.DotProduct(x, w[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCharacterizeSNRIncreasesWithLevel(t *testing.T) {
+	k, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := k.CharacterizeSNR(DefaultLevels(), 200)
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Means track the drive level; SNR grows with signal.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Mean <= pts[i-1].Mean {
+			t.Errorf("mean not increasing at level %d", pts[i].Level)
+		}
+	}
+	if pts[7].SNRdB <= pts[0].SNRdB {
+		t.Errorf("SNR at 255 (%.1f dB) not above SNR at 32 (%.1f dB)",
+			pts[7].SNRdB, pts[0].SNRdB)
+	}
+	// σ stays near the calibrated 1.65 codes across levels.
+	for _, p := range pts {
+		if p.Std < 0.8 || p.Std > 3 {
+			t.Errorf("level %d std = %.2f", p.Level, p.Std)
+		}
+	}
+	// Default repeats path.
+	if got := k.CharacterizeSNR([]fixed.Code{128}, 0); len(got) != 1 {
+		t.Error("default repeats failed")
+	}
+}
+
+func TestConfigureBias(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := ConfigureBias(seed)
+		if r.NullTransmission > 0.01 {
+			t.Errorf("seed %d: null transmission %.4f", seed, r.NullTransmission)
+		}
+		if r.PeakTransmission < 0.99 {
+			t.Errorf("seed %d: peak transmission %.4f", seed, r.PeakTransmission)
+		}
+		if r.EncodingLo != 0 || r.EncodingHi != 5 {
+			t.Errorf("seed %d: encoding zone %v–%v", seed, r.EncodingLo, r.EncodingHi)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Proxy networks: channel-scaled stand-ins for the §7 emulation models with
+// matched depth structure (conv stage counts, pooling positions, 3-layer FC
+// head) on 32×32 synthetic inputs. Weights are He-initialized random
+// tensors: without the proprietary pretrained checkpoints the emulator
+// measures prediction *stability* of a fixed deep function under
+// quantization and analog noise, which is the mechanism Fig 19 isolates.
+
+// proxyClasses is the output width of every proxy net.
+const proxyClasses = 100
+
+// builder accumulates ops while tracking the activation shape.
+type builder struct {
+	net     *Net
+	h, w, c int
+	rng     *rand.Rand
+}
+
+func newBuilder(name string, rng *rand.Rand) *builder {
+	return &builder{
+		net: &Net{Name: name, Classes: proxyClasses, InH: 32, InW: 32, InC: 3},
+		h:   32, w: 32, c: 3,
+		rng: rng,
+	}
+}
+
+func (b *builder) conv(outC int) {
+	// 3×3 same-padding, as in VGG.
+	op := &ConvOp{
+		Label: fmt.Sprintf("conv%d", len(b.net.Ops)),
+		InC:   b.c, OutC: outC, K: 3, S: 1, Pad: 1,
+		W:    randWeights(b.rng, outC*3*3*b.c, 3*3*b.c),
+		B:    randWeights(b.rng, outC, 0),
+		ReLU: true,
+	}
+	b.net.Ops = append(b.net.Ops, op)
+	b.c = outC
+}
+
+func (b *builder) pool() {
+	b.net.Ops = append(b.net.Ops, &PoolOp{Label: fmt.Sprintf("pool%d", len(b.net.Ops)), K: 2, S: 2})
+	b.h = (b.h-2)/2 + 1
+	b.w = (b.w-2)/2 + 1
+}
+
+func (b *builder) fc(out int, relu bool) {
+	in := b.h * b.w * b.c
+	op := &FCOp{
+		Label: fmt.Sprintf("fc%d", len(b.net.Ops)),
+		In:    in, Out: out,
+		W:    randWeights(b.rng, out*in, in),
+		B:    randWeights(b.rng, out, 0),
+		ReLU: relu,
+	}
+	b.net.Ops = append(b.net.Ops, op)
+	b.h, b.w, b.c = 1, 1, out
+}
+
+// ProxyAlexNet: 5 conv + 3 fc, AlexNet's depth plan at reduced width.
+func ProxyAlexNet(seed uint64) *Net {
+	b := newBuilder("alexnet-proxy", rand.New(rand.NewPCG(seed, 0xa1e)))
+	b.conv(16)
+	b.pool()
+	b.conv(32)
+	b.pool()
+	b.conv(48)
+	b.conv(48)
+	b.conv(32)
+	b.fc(64, true)
+	b.fc(64, true)
+	b.fc(proxyClasses, false)
+	return b.net
+}
+
+// proxyVGG builds a VGG-style proxy from per-stage conv counts.
+func proxyVGG(name string, stages []int, seed uint64) *Net {
+	b := newBuilder(name, rand.New(rand.NewPCG(seed, 0x7663)))
+	chans := []int{8, 16, 32, 48, 48}
+	for st, n := range stages {
+		for i := 0; i < n; i++ {
+			b.conv(chans[st])
+		}
+		// Pool after the first four stages: 32×32 inputs run out of
+		// spatial extent one stage earlier than 224×224.
+		if st < 4 {
+			b.pool()
+		}
+	}
+	b.fc(96, true)
+	b.fc(96, true)
+	b.fc(proxyClasses, false)
+	return b.net
+}
+
+// ProxyVGG11 mirrors VGG-A's 8-conv structure.
+func ProxyVGG11(seed uint64) *Net { return proxyVGG("vgg11-proxy", []int{1, 1, 2, 2, 2}, seed) }
+
+// ProxyVGG16 mirrors VGG-D's 13-conv structure.
+func ProxyVGG16(seed uint64) *Net { return proxyVGG("vgg16-proxy", []int{2, 2, 3, 3, 3}, seed) }
+
+// ProxyVGG19 mirrors VGG-E's 16-conv structure.
+func ProxyVGG19(seed uint64) *Net { return proxyVGG("vgg19-proxy", []int{2, 2, 4, 4, 4}, seed) }
+
+// EmulationProxies returns Fig 19's four networks.
+func EmulationProxies(seed uint64) []*Net {
+	return []*Net{ProxyAlexNet(seed), ProxyVGG11(seed + 1), ProxyVGG16(seed + 2), ProxyVGG19(seed + 3)}
+}

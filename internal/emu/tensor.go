@@ -1,0 +1,203 @@
+// Package emu is Lightning's accuracy emulator (§7): it runs DNN inference
+// under three computation schemes — 32-bit float, 8-bit digital, and 8-bit
+// photonic with the calibrated Gaussian analog noise of Fig 18 — and
+// measures how far the photonic scheme's predictions drift from the digital
+// references (Fig 19).
+//
+// The paper's emulator evaluates pretrained AlexNet/VGG models on ImageNet;
+// neither the weights nor the dataset are redistributable here, so the
+// emulator runs channel-scaled proxy networks with matched depth structure
+// on synthetic inputs and reports top-k *agreement with the fp32 reference*
+// (DESIGN.md §2 documents the substitution). The quantization and noise
+// mathematics are exactly the paper's: per-tensor symmetric 8-bit
+// quantization; per-MAC additive Gaussian noise, aggregated per dot product
+// as N(k·µ, σ·√k) by independence.
+package emu
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Tensor is a dense H×W×C activation volume (C-fastest layout). FC layers
+// use H=W=1.
+type Tensor struct {
+	H, W, C int
+	Data    []float64
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(h, w, c int) *Tensor {
+	return &Tensor{H: h, W: w, C: c, Data: make([]float64, h*w*c)}
+}
+
+// At returns the element at (y, x, c).
+func (t *Tensor) At(y, x, c int) float64 { return t.Data[(y*t.W+x)*t.C+c] }
+
+// Set writes the element at (y, x, c).
+func (t *Tensor) Set(y, x, c int, v float64) { t.Data[(y*t.W+x)*t.C+c] = v }
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Op is one inference operation.
+type Op interface {
+	// Apply transforms the input under the evaluation context (which
+	// carries the scheme's quantization and noise behaviour).
+	Apply(in *Tensor, ctx *evalCtx) *Tensor
+	// Name identifies the op in diagnostics.
+	Name() string
+}
+
+// ConvOp is a strided convolution with optional zero padding and ReLU.
+type ConvOp struct {
+	Label     string
+	InC, OutC int
+	K, S      int
+	// Pad is symmetric zero padding (1 for 3×3 "same" convolutions).
+	Pad  int
+	W    []float64 // [outC][k][k][inC] flattened
+	B    []float64
+	ReLU bool
+}
+
+// Name implements Op.
+func (c *ConvOp) Name() string { return c.Label }
+
+// Apply implements Op: each output element is one dot product of length
+// K·K·InC, quantized and noised per the context's scheme.
+func (c *ConvOp) Apply(in *Tensor, ctx *evalCtx) *Tensor {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("emu: %s expects %d channels, got %d", c.Label, c.InC, in.C))
+	}
+	if c.Pad > 0 {
+		padded := NewTensor(in.H+2*c.Pad, in.W+2*c.Pad, in.C)
+		for y := 0; y < in.H; y++ {
+			base := ((y+c.Pad)*padded.W + c.Pad) * in.C
+			copy(padded.Data[base:base+in.W*in.C], in.Data[y*in.W*in.C:(y+1)*in.W*in.C])
+		}
+		in = padded
+	}
+	oh := (in.H-c.K)/c.S + 1
+	ow := (in.W-c.K)/c.S + 1
+	out := NewTensor(oh, ow, c.OutC)
+	qw, ws := ctx.quantize(c.W)
+	qin, as := ctx.quantize(in.Data)
+	kk := c.K * c.K * c.InC
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				var s float64
+				wBase := oc * kk
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.S + ky
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.S + kx
+						inBase := (iy*in.W + ix) * in.C
+						wRow := wBase + (ky*c.K+kx)*c.InC
+						for ic := 0; ic < c.InC; ic++ {
+							s += qw[wRow+ic] * qin[inBase+ic]
+						}
+					}
+				}
+				s += ctx.dotNoise(kk, ws, as)
+				s += c.B[oc]
+				if c.ReLU && s < 0 {
+					s = 0
+				}
+				out.Set(oy, ox, oc, s)
+			}
+		}
+	}
+	return out
+}
+
+// PoolOp is a max pool.
+type PoolOp struct {
+	Label string
+	K, S  int
+}
+
+// Name implements Op.
+func (p *PoolOp) Name() string { return p.Label }
+
+// Apply implements Op.
+func (p *PoolOp) Apply(in *Tensor, _ *evalCtx) *Tensor {
+	oh := (in.H-p.K)/p.S + 1
+	ow := (in.W-p.K)/p.S + 1
+	out := NewTensor(oh, ow, in.C)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < in.C; c++ {
+				best := in.At(oy*p.S, ox*p.S, c)
+				for ky := 0; ky < p.K; ky++ {
+					for kx := 0; kx < p.K; kx++ {
+						if v := in.At(oy*p.S+ky, ox*p.S+kx, c); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(oy, ox, c, best)
+			}
+		}
+	}
+	return out
+}
+
+// FCOp is a dense layer over the flattened input.
+type FCOp struct {
+	Label   string
+	In, Out int
+	W       []float64 // [out][in]
+	B       []float64
+	ReLU    bool
+}
+
+// Name implements Op.
+func (f *FCOp) Name() string { return f.Label }
+
+// Apply implements Op.
+func (f *FCOp) Apply(in *Tensor, ctx *evalCtx) *Tensor {
+	if in.Len() != f.In {
+		panic(fmt.Sprintf("emu: %s expects %d inputs, got %d", f.Label, f.In, in.Len()))
+	}
+	out := NewTensor(1, 1, f.Out)
+	qw, ws := ctx.quantize(f.W)
+	qin, as := ctx.quantize(in.Data)
+	for j := 0; j < f.Out; j++ {
+		var s float64
+		base := j * f.In
+		for i := 0; i < f.In; i++ {
+			s += qw[base+i] * qin[i]
+		}
+		s += ctx.dotNoise(f.In, ws, as)
+		s += f.B[j]
+		if f.ReLU && s < 0 {
+			s = 0
+		}
+		out.Set(0, 0, j, s)
+	}
+	return out
+}
+
+// Net is an emulated network: an op pipeline.
+type Net struct {
+	Name          string
+	Classes       int
+	InH, InW, InC int
+	Ops           []Op
+}
+
+// randWeights draws He-initialized weights.
+func randWeights(rng *rand.Rand, n int, fanIn int) []float64 {
+	std := 1.0
+	if fanIn > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * std
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lightning-smartnic/lightning/internal/chip"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+	"github.com/lightning-smartnic/lightning/internal/stats"
+)
+
+func init() {
+	register("fig20", Fig20)
+	register("table1", Table1)
+	register("table2", Table2)
+	register("table3", Table3)
+	register("table4", Table4)
+	register("table5", Table5)
+	register("cost", Cost)
+}
+
+// Fig20 renders the one-MAC datapath layout as proportional area bars — the
+// text analogue of the chip plot, showing count-action dominance.
+func Fig20(w io.Writer) error {
+	header(w, "Fig 20: datapath chip layout for one photonic MAC (65 nm)")
+	s := chip.Table1()
+	total := s.TotalArea()
+	for _, c := range []chip.Component{s.PacketIO, s.MemoryController, s.CountAction} {
+		fmt.Fprintf(w, "%-40s %6.2f mm² |%s|\n", c.Name, c.Area(),
+			stats.ASCIIBar(c.Area()/total, 40))
+	}
+	fmt.Fprintf(w, "%-40s %6.2f mm²\n", "total", total)
+	return nil
+}
+
+// Table1 prints the 65 nm one-MAC datapath synthesis breakdown.
+func Table1(w io.Writer) error {
+	header(w, "Table 1: 65 nm chip area and power of datapath modules for one photonic MAC")
+	s := chip.Table1()
+	for _, c := range []chip.Component{s.PacketIO, s.MemoryController, s.CountAction} {
+		fmt.Fprintf(w, "%-40s %6.2f mm²  %6.3f W\n", c.Name, c.Area(), c.Power())
+	}
+	fmt.Fprintf(w, "%-40s %6.2f mm²  %6.3f W\n", "Total", s.TotalArea(), s.TotalPower())
+	return nil
+}
+
+// Table2 prints the projected 7 nm 576-MAC chip budget.
+func Table2(w io.Writer) error {
+	header(w, "Table 2: area and power of a Lightning chip with 576 photonic MACs")
+	b, err := chip.Project(chip.DefaultChip())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, b.String())
+	fmt.Fprintf(w, "digital: %.3f mm² / %.3f W   photonic: %.3f mm² / %.5f W\n",
+		b.DigitalArea(), b.DigitalPower(), b.PhotonicArea(), b.PhotonicPower())
+	fmt.Fprintf(w, "vs Brainwave's Stratix 10 (5180 mm²): %.2f× smaller (paper: 2.55×)\n",
+		chip.CompareArea(b))
+	return nil
+}
+
+// Table3 prints the end-to-end energy per MAC comparison.
+func Table3(w io.Writer) error {
+	header(w, "Table 3: end-to-end energy consumption per MAC")
+	l := chip.LightningPlatform()
+	fmt.Fprintf(w, "%-10s %9s %10s %12s %14s %10s\n",
+		"platform", "power(W)", "#MACs", "clock(GHz)", "energy(pJ)", "savings")
+	for _, p := range chip.Table3Platforms() {
+		fmt.Fprintf(w, "%-10s %9.1f %10d %12.3f %14.3f %9.2f×\n",
+			p.Name, p.PowerW, p.MACUnits, p.ClockHz/1e9,
+			p.EnergyPerMACJoules()*1e12, l.EnergySavingsVs(p))
+	}
+	fmt.Fprintln(w, "(paper savings row: 16.09×, 15.69×, 18.83×, 3.19×)")
+	return nil
+}
+
+// Table4 prints the comparison with prior photonic inference demonstrations.
+func Table4(w io.Writer) error {
+	header(w, "Table 4: prior experimental photonic ML inference demonstrations")
+	type demo struct {
+		name        string
+		freqGHz     float64
+		wavelengths int
+		bits        int
+	}
+	demos := []demo{
+		{"Feldmann et al., Nature 2021 (tensor core)", 2, 4, 8},
+		{"Feldmann et al., Nature 2021 (comb)", 1e-6, 200, 5},
+		{"Sludds et al., Science 2022 (NetCast)", 0.5, 16, 8},
+		{"Lightning prototype (this work)", 4.055, 2, 8},
+	}
+	fmt.Fprintf(w, "%-44s %12s %12s %6s %16s\n", "demonstration", "freq (GHz)", "wavelengths", "bits", "MACs/s (peak)")
+	for _, d := range demos {
+		rate := d.freqGHz * 1e9 * float64(d.wavelengths)
+		fmt.Fprintf(w, "%-44s %12.4g %12d %6d %16.4g\n", d.name, d.freqGHz, d.wavelengths, d.bits, rate)
+	}
+	fmt.Fprintln(w, "note: prior demos halve effective frequency to handle negative values;")
+	fmt.Fprintln(w, "Lightning's sign/magnitude split keeps full rate (Appendix C)")
+	return nil
+}
+
+// Table5 prints the photonic core architecture algebra.
+func Table5(w io.Writer) error {
+	header(w, "Table 5: photonic vector dot-product core architectures")
+	specs := []struct {
+		label string
+		s     photonic.ScaledCoreSpec
+	}{
+		{"scalar multiplication unit (Fig 2a)", photonic.ScaledCoreSpec{N: 1, W: 1, B: 1}},
+		{"dot product over N=4 wavelengths (Fig 2c)", photonic.ScaledCoreSpec{N: 4, W: 1, B: 1}},
+		{"+ W=3 parallel modulations", photonic.ScaledCoreSpec{N: 4, W: 3, B: 1}},
+		{"+ batch B=2 (Fig 25 uses N=3,W=2,B=2)", photonic.Fig25Spec()},
+		{"§8 chip (N=24, W=24)", photonic.ChipSpec()},
+	}
+	fmt.Fprintf(w, "%-44s %10s %8s %8s %6s %5s\n",
+		"architecture", "MACs/step", "w-mods", "in-mods", "PDs", "λs")
+	for _, sp := range specs {
+		fmt.Fprintf(w, "%-44s %10d %8d %8d %6d %5d\n",
+			sp.label, sp.s.MACsPerStep(), sp.s.WeightModulators(), sp.s.InputModulators(),
+			sp.s.Photodetectors(), sp.s.DistinctWavelengths())
+	}
+	return nil
+}
+
+// Cost prints the §10 manufacturing cost estimate.
+func Cost(w io.Writer) error {
+	header(w, "§10: Lightning smartNIC cost estimate")
+	b, err := chip.Project(chip.DefaultChip())
+	if err != nil {
+		return err
+	}
+	cm := chip.DefaultCostModel()
+	proto, volume := cm.PhotonicCost(b.PhotonicArea())
+	fmt.Fprintf(w, "photonic die (%.0f mm² SiN): $%.2f prototype, $%.2f at volume (paper: $25,312.5 / $2,531.25)\n",
+		b.PhotonicArea(), proto, volume)
+	cmos := chip.CMOSArea(b)
+	fmt.Fprintf(w, "electronic die (%.0f mm² 7 nm CMOS): $%.2f (paper: $108.7)\n",
+		cmos, cm.ElectronicCost(cmos))
+	fmt.Fprintf(w, "total smartNIC: $%.2f (paper: $2,639.95)\n", cm.SmartNICCost(b))
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package mem models Lightning's off-chip memory system (§6.1 "DRAM
+// access"): the DDR4 attached to the prototype datapath, the HBM2 the §8
+// chip design uses, the back-pressure buffer that absorbs DRAM burstiness
+// before the DACs, and the kernel register file that caches convolution
+// kernels for reuse (§4 "the memory controller reads the convolution kernel
+// only once and stores it in local register files for subsequent reuse").
+package mem
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/axi"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Spec describes a memory technology.
+type Spec struct {
+	Name string
+	// BandwidthBps is the sustained data rate in bits per second.
+	BandwidthBps float64
+	// LatencyNs is the base access latency; JitterNs bounds the uniform
+	// additional latency variation (the variance that makes synchronous
+	// streaming hard, §5.1).
+	LatencyNs, JitterNs float64
+	// CapacityBytes bounds stored data.
+	CapacityBytes int64
+}
+
+// DDR4Spec is the prototype's memory: 2.67e9 transactions/s × 64 bits ≈
+// 170 Gbps, 4 GB (§6.1).
+func DDR4Spec() Spec {
+	return Spec{
+		Name:          "DDR4",
+		BandwidthBps:  2.67e9 * 64,
+		LatencyNs:     60,
+		JitterNs:      40,
+		CapacityBytes: 4 << 30,
+	}
+}
+
+// HBM2Spec is the §8 chip's memory: 15.2 Tbps stacks.
+func HBM2Spec() Spec {
+	return Spec{
+		Name:          "HBM2",
+		BandwidthBps:  15.2e12,
+		LatencyNs:     50,
+		JitterNs:      25,
+		CapacityBytes: 16 << 30,
+	}
+}
+
+// TransferTime returns the serialization time for n bytes at the memory's
+// bandwidth.
+func (s Spec) TransferTime(n int64) time.Duration {
+	if s.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n*8) / s.BandwidthBps * 1e9)
+}
+
+// DRAM is a capacity-bounded key/value blob store with latency modeling.
+// Lightning stores pre-trained DNN parameters here, keyed by model and
+// layer.
+type DRAM struct {
+	Spec Spec
+
+	data map[string][]byte
+	used int64
+	rng  *rand.Rand
+
+	// Reads and ReadBytes count accesses for the energy model.
+	Reads     uint64
+	ReadBytes uint64
+}
+
+// New creates a DRAM with the given spec; seed drives latency jitter.
+func New(spec Spec, seed uint64) *DRAM {
+	return &DRAM{Spec: spec, data: make(map[string][]byte), rng: rand.New(rand.NewPCG(seed, 0xd7a8))}
+}
+
+// Used returns the stored byte count.
+func (d *DRAM) Used() int64 { return d.used }
+
+// Store writes a blob, enforcing capacity. Overwriting a key reuses its
+// space.
+func (d *DRAM) Store(key string, blob []byte) error {
+	delta := int64(len(blob)) - int64(len(d.data[key]))
+	if d.used+delta > d.Spec.CapacityBytes {
+		return fmt.Errorf("mem: %s full: %d + %d > %d bytes", d.Spec.Name, d.used, delta, d.Spec.CapacityBytes)
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	d.data[key] = cp
+	d.used += delta
+	return nil
+}
+
+// Delete removes a blob.
+func (d *DRAM) Delete(key string) {
+	d.used -= int64(len(d.data[key]))
+	delete(d.data, key)
+}
+
+// Load returns a stored blob without copying. Callers must not mutate it.
+func (d *DRAM) Load(key string) ([]byte, bool) {
+	b, ok := d.data[key]
+	if ok {
+		d.Reads++
+		d.ReadBytes += uint64(len(b))
+	}
+	return b, ok
+}
+
+// AccessLatency draws one access latency: base plus uniform jitter. This is
+// the variation that desynchronizes DAC lanes absent the count-action
+// streamer.
+func (d *DRAM) AccessLatency() time.Duration {
+	j := d.rng.Float64() * d.Spec.JitterNs
+	return time.Duration((d.Spec.LatencyNs + j) * float64(time.Nanosecond))
+}
+
+// Reader streams a stored blob toward a DAC lane in bursts, modeling DRAM
+// burstiness: each Fill delivers between 0 and burst samples depending on a
+// jittered readiness draw, and respects downstream back-pressure.
+type Reader struct {
+	dram  *DRAM
+	blob  []byte
+	pos   int
+	burst int
+	// StallProb is the per-Fill probability that the DRAM delivers
+	// nothing this cycle (bank conflict / refresh).
+	StallProb float64
+}
+
+// NewReader opens a streaming reader over a stored blob.
+func (d *DRAM) NewReader(key string, burst int) (*Reader, error) {
+	blob, ok := d.Load(key)
+	if !ok {
+		return nil, fmt.Errorf("mem: no blob %q in %s", key, d.Spec.Name)
+	}
+	if burst <= 0 {
+		return nil, fmt.Errorf("mem: burst must be positive, got %d", burst)
+	}
+	return &Reader{dram: d, blob: blob, burst: burst, StallProb: 0.1}, nil
+}
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.blob) - r.pos }
+
+// Fill pushes up to one burst of samples into dst, stopping early on
+// back-pressure. It returns the number of samples delivered this cycle.
+func (r *Reader) Fill(dst *axi.Stream[fixed.Code]) int {
+	if r.Remaining() == 0 {
+		return 0
+	}
+	if r.dram.rng.Float64() < r.StallProb {
+		return 0 // burstiness: nothing arrives this cycle
+	}
+	n := 0
+	for n < r.burst && r.pos < len(r.blob) {
+		if err := dst.Push(axi.Beat[fixed.Code]{Data: fixed.Code(r.blob[r.pos])}); err != nil {
+			break
+		}
+		r.pos++
+		n++
+	}
+	return n
+}
+
+// KernelCache is the local register file that holds convolution kernels
+// after their first DRAM read so subsequent windows reuse them without
+// memory traffic.
+type KernelCache struct {
+	CapacityBytes int64
+
+	entries map[string][]byte
+	used    int64
+	order   []string
+
+	Hits, Misses uint64
+}
+
+// NewKernelCache allocates a register-file cache of the given capacity.
+func NewKernelCache(capacity int64) *KernelCache {
+	return &KernelCache{CapacityBytes: capacity, entries: make(map[string][]byte)}
+}
+
+// Get returns the cached kernel, fetching it from DRAM on a miss and
+// evicting least-recently-inserted entries to fit. It returns nil when the
+// kernel is in neither the cache nor DRAM.
+func (k *KernelCache) Get(key string, dram *DRAM) []byte {
+	if b, ok := k.entries[key]; ok {
+		k.Hits++
+		return b
+	}
+	k.Misses++
+	b, ok := dram.Load(key)
+	if !ok {
+		return nil
+	}
+	for k.used+int64(len(b)) > k.CapacityBytes && len(k.order) > 0 {
+		victim := k.order[0]
+		k.order = k.order[1:]
+		k.used -= int64(len(k.entries[victim]))
+		delete(k.entries, victim)
+	}
+	if int64(len(b)) > k.CapacityBytes {
+		return b // too large to cache; serve uncached
+	}
+	k.entries[key] = b
+	k.order = append(k.order, key)
+	k.used += int64(len(b))
+	return b
+}
+
+// HitRate returns the cache hit fraction.
+func (k *KernelCache) HitRate() float64 {
+	total := k.Hits + k.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(k.Hits) / float64(total)
+}

@@ -1,0 +1,229 @@
+package mem
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/axi"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func TestSpecs(t *testing.T) {
+	ddr := DDR4Spec()
+	// ≈170 Gbps (§6.1).
+	if ddr.BandwidthBps < 169e9 || ddr.BandwidthBps > 172e9 {
+		t.Errorf("DDR4 bandwidth = %v", ddr.BandwidthBps)
+	}
+	hbm := HBM2Spec()
+	if hbm.BandwidthBps != 15.2e12 {
+		t.Errorf("HBM2 bandwidth = %v", hbm.BandwidthBps)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	s := Spec{BandwidthBps: 8e9} // 1 GB/s
+	if got := s.TransferTime(1 << 30); got < 990*time.Millisecond || got > 1100*time.Millisecond {
+		t.Errorf("TransferTime(1GiB) = %v, want ≈1s", got)
+	}
+	if (Spec{}).TransferTime(100) != 0 {
+		t.Error("zero-bandwidth TransferTime should be 0")
+	}
+}
+
+func TestStoreLoadDelete(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	if err := d.Store("k", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 3 {
+		t.Errorf("Used = %d", d.Used())
+	}
+	b, ok := d.Load("k")
+	if !ok || len(b) != 3 || b[2] != 3 {
+		t.Errorf("Load = %v, %v", b, ok)
+	}
+	if d.Reads != 1 || d.ReadBytes != 3 {
+		t.Errorf("read stats: %d, %d", d.Reads, d.ReadBytes)
+	}
+	// Overwrite reuses space.
+	if err := d.Store("k", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 1 {
+		t.Errorf("Used after overwrite = %d", d.Used())
+	}
+	d.Delete("k")
+	if d.Used() != 0 {
+		t.Errorf("Used after delete = %d", d.Used())
+	}
+	if _, ok := d.Load("k"); ok {
+		t.Error("deleted key still loads")
+	}
+}
+
+func TestStoreCapacity(t *testing.T) {
+	d := New(Spec{Name: "tiny", CapacityBytes: 4}, 1)
+	if err := d.Store("a", []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("b", []byte{5}); err == nil {
+		t.Error("over-capacity store accepted")
+	}
+}
+
+func TestStoreCopiesInput(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	src := []byte{1}
+	d.Store("k", src)
+	src[0] = 99
+	b, _ := d.Load("k")
+	if b[0] != 1 {
+		t.Error("Store aliases caller slice")
+	}
+}
+
+func TestAccessLatencyWithinJitterBounds(t *testing.T) {
+	d := New(DDR4Spec(), 7)
+	lo := time.Duration(d.Spec.LatencyNs) * time.Nanosecond
+	hi := time.Duration(d.Spec.LatencyNs+d.Spec.JitterNs) * time.Nanosecond
+	varies := false
+	prev := d.AccessLatency()
+	for i := 0; i < 100; i++ {
+		l := d.AccessLatency()
+		if l < lo || l > hi {
+			t.Fatalf("latency %v outside [%v, %v]", l, lo, hi)
+		}
+		if l != prev {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("latency shows no jitter")
+	}
+}
+
+func TestReaderStreamsWholeBlob(t *testing.T) {
+	d := New(DDR4Spec(), 3)
+	blob := make([]byte, 100)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	d.Store("w", blob)
+	r, err := d.NewReader("w", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := axi.NewStream[fixed.Code](256)
+	for i := 0; r.Remaining() > 0; i++ {
+		r.Fill(dst)
+		if i > 10000 {
+			t.Fatal("reader livelock")
+		}
+	}
+	if dst.Len() != 100 {
+		t.Fatalf("delivered %d samples", dst.Len())
+	}
+	for i := 0; i < 100; i++ {
+		b, _ := dst.Pop()
+		if b.Data != fixed.Code(i) {
+			t.Fatalf("sample %d = %d", i, b.Data)
+		}
+	}
+}
+
+func TestReaderRespectsBackpressure(t *testing.T) {
+	d := New(DDR4Spec(), 3)
+	d.Store("w", make([]byte, 100))
+	r, _ := d.NewReader("w", 16)
+	r.StallProb = 0
+	dst := axi.NewStream[fixed.Code](4)
+	if n := r.Fill(dst); n != 4 {
+		t.Errorf("Fill into depth-4 stream = %d, want 4", n)
+	}
+	if n := r.Fill(dst); n != 0 {
+		t.Errorf("Fill into full stream = %d, want 0", n)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	d := New(DDR4Spec(), 3)
+	if _, err := d.NewReader("missing", 8); err == nil {
+		t.Error("missing key accepted")
+	}
+	d.Store("w", []byte{1})
+	if _, err := d.NewReader("w", 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestReaderBurstiness(t *testing.T) {
+	d := New(DDR4Spec(), 5)
+	d.Store("w", make([]byte, 1000))
+	r, _ := d.NewReader("w", 8)
+	dst := axi.NewStream[fixed.Code](4096)
+	stalls := 0
+	for r.Remaining() > 0 {
+		if r.Fill(dst) == 0 {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Error("no burstiness stalls observed with StallProb=0.1")
+	}
+}
+
+func TestKernelCacheReuse(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	d.Store("conv1/kernel", []byte{1, 2, 3})
+	kc := NewKernelCache(1024)
+	if b := kc.Get("conv1/kernel", d); b == nil {
+		t.Fatal("miss path returned nil")
+	}
+	dramReadsAfterFirst := d.Reads
+	for i := 0; i < 10; i++ {
+		kc.Get("conv1/kernel", d)
+	}
+	if d.Reads != dramReadsAfterFirst {
+		t.Error("cache hits still touched DRAM")
+	}
+	if kc.Hits != 10 || kc.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", kc.Hits, kc.Misses)
+	}
+	if hr := kc.HitRate(); hr < 0.9 {
+		t.Errorf("hit rate = %v", hr)
+	}
+}
+
+func TestKernelCacheEviction(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	d.Store("a", make([]byte, 8))
+	d.Store("b", make([]byte, 8))
+	kc := NewKernelCache(10)
+	kc.Get("a", d)
+	kc.Get("b", d) // evicts a
+	kc.Get("a", d) // miss again
+	if kc.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (eviction)", kc.Misses)
+	}
+}
+
+func TestKernelCacheOversizedEntry(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	d.Store("big", make([]byte, 100))
+	kc := NewKernelCache(10)
+	if b := kc.Get("big", d); len(b) != 100 {
+		t.Error("oversized entry not served")
+	}
+	if b := kc.Get("missing", d); b != nil {
+		t.Error("missing key returned data")
+	}
+	if kc.HitRate() != 0 {
+		t.Errorf("hit rate = %v", kc.HitRate())
+	}
+}
+
+func TestKernelCacheEmptyHitRate(t *testing.T) {
+	if NewKernelCache(10).HitRate() != 0 {
+		t.Error("empty cache hit rate should be 0")
+	}
+}

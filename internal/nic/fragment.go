@@ -1,0 +1,172 @@
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Query fragmentation. Table 6's vision queries are 150 KB — larger than a
+// UDP datagram and far larger than one Ethernet frame — so the wire protocol
+// carries large inference inputs as fragments that the NIC's packet
+// assembler reassembles before the datapath runs (§4's packet parser reads
+// "the payload as the user data" across however many packets carry it).
+//
+// A fragmented query's payload begins with a fragment header:
+//
+//	offset size field
+//	0      4    byte offset of this fragment within the query
+//	4      4    total query length
+//	8      n    fragment bytes
+const (
+	// FragHeaderLen is the per-fragment header size.
+	FragHeaderLen = 8
+	// FlagFragment marks a message that carries one fragment of a larger
+	// query.
+	FlagFragment = 1 << 3
+	// MaxFragPayload bounds fragment size to fit a standard 1500-byte MTU
+	// under Ethernet/IPv4/UDP/Lightning headers.
+	MaxFragPayload = 1400
+)
+
+// Fragment splits a large query into fragment messages sharing the request
+// ID. Queries that already fit return a single unfragmented message.
+func Fragment(requestID uint32, modelID uint16, query []byte, maxPayload int) ([]*Message, error) {
+	if maxPayload <= 0 {
+		maxPayload = MaxFragPayload
+	}
+	if len(query) <= maxPayload {
+		return []*Message{{RequestID: requestID, ModelID: modelID, Payload: query}}, nil
+	}
+	chunk := maxPayload - FragHeaderLen
+	if chunk <= 0 {
+		return nil, fmt.Errorf("nic: max payload %d leaves no room for fragment data", maxPayload)
+	}
+	count := (len(query) + chunk - 1) / chunk
+	if count > 0xffff {
+		return nil, fmt.Errorf("nic: query of %d bytes needs %d fragments (max 65535)", len(query), count)
+	}
+	msgs := make([]*Message, 0, count)
+	for lo := 0; lo < len(query); lo += chunk {
+		hi := lo + chunk
+		if hi > len(query) {
+			hi = len(query)
+		}
+		payload := make([]byte, FragHeaderLen+hi-lo)
+		binary.BigEndian.PutUint32(payload[0:4], uint32(lo))
+		binary.BigEndian.PutUint32(payload[4:8], uint32(len(query)))
+		copy(payload[FragHeaderLen:], query[lo:hi])
+		msgs = append(msgs, &Message{
+			Flags:     FlagFragment,
+			RequestID: requestID,
+			ModelID:   modelID,
+			Payload:   payload,
+		})
+	}
+	return msgs, nil
+}
+
+// partialQuery tracks one in-flight reassembly.
+type partialQuery struct {
+	modelID  uint16
+	total    int
+	received int          // distinct bytes received so far
+	have     map[int]bool // fragment start offsets already applied
+	buf      []byte
+}
+
+// Reassembler is the packet assembler's reassembly buffer: it collects
+// fragments by request ID and releases the complete query. Entries are
+// bounded; when full, the oldest in-flight query is discarded (a hardware
+// reassembly table's behaviour under pressure).
+type Reassembler struct {
+	cap     int
+	pending map[uint32]*partialQuery
+	order   []uint32
+
+	// Drops counts discarded in-flight queries (table pressure or
+	// inconsistent fragments).
+	Drops uint64
+}
+
+// NewReassembler builds a table bounded to capacity in-flight queries.
+func NewReassembler(capacity int) *Reassembler {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Reassembler{cap: capacity, pending: make(map[uint32]*partialQuery)}
+}
+
+// Pending returns the in-flight query count.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Offer consumes one message. Unfragmented queries pass straight through as
+// (query, true). Fragments accumulate; the final fragment of a request
+// releases the assembled query. Inconsistent fragments drop the whole
+// request.
+func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool, err error) {
+	if m.Flags&FlagFragment == 0 {
+		return m.Payload, m.ModelID, true, nil
+	}
+	if len(m.Payload) < FragHeaderLen {
+		return nil, 0, false, fmt.Errorf("%w: fragment header", ErrTruncated)
+	}
+	lo := int(binary.BigEndian.Uint32(m.Payload[0:4]))
+	total := int(binary.BigEndian.Uint32(m.Payload[4:8]))
+	body := m.Payload[FragHeaderLen:]
+	if total <= 0 || len(body) == 0 {
+		return nil, 0, false, fmt.Errorf("nic: empty fragment for request %d", m.RequestID)
+	}
+
+	pq := r.pending[m.RequestID]
+	if pq == nil {
+		if len(r.pending) >= r.cap {
+			victim := r.order[0]
+			r.order = r.order[1:]
+			delete(r.pending, victim)
+			r.Drops++
+		}
+		pq = &partialQuery{
+			modelID: m.ModelID,
+			total:   total,
+			have:    make(map[int]bool),
+			buf:     make([]byte, total),
+		}
+		r.pending[m.RequestID] = pq
+		r.order = append(r.order, m.RequestID)
+	}
+	if pq.total != total || pq.modelID != m.ModelID {
+		r.remove(m.RequestID)
+		r.Drops++
+		return nil, 0, false, fmt.Errorf("nic: inconsistent fragment for request %d", m.RequestID)
+	}
+	hi := lo + len(body)
+	if lo < 0 || hi > total {
+		r.remove(m.RequestID)
+		r.Drops++
+		return nil, 0, false, fmt.Errorf("nic: fragment [%d,%d) overflows %d-byte query", lo, hi, total)
+	}
+	if !pq.have[lo] {
+		copy(pq.buf[lo:hi], body)
+		pq.have[lo] = true
+		pq.received += len(body)
+	}
+	if pq.received < pq.total {
+		return nil, 0, false, nil
+	}
+	r.remove(m.RequestID)
+	return pq.buf, pq.modelID, true, nil
+}
+
+// remove deletes an in-flight entry without counting a drop.
+func (r *Reassembler) remove(id uint32) {
+	if _, ok := r.pending[id]; !ok {
+		return
+	}
+	delete(r.pending, id)
+	for i, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}

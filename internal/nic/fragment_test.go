@@ -1,0 +1,185 @@
+package nic
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFragmentSmallQueryPassesThrough(t *testing.T) {
+	msgs, err := Fragment(1, 2, []byte{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Flags&FlagFragment != 0 {
+		t.Errorf("small query fragmented: %d msgs flags=%x", len(msgs), msgs[0].Flags)
+	}
+}
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	// A Table 6 vision query: 150 KB.
+	rng := rand.New(rand.NewPCG(1, 1))
+	query := make([]byte, 150*1024)
+	for i := range query {
+		query[i] = byte(rng.IntN(256))
+	}
+	msgs, err := Fragment(77, 5, query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 100 {
+		t.Fatalf("150 KB query produced only %d fragments", len(msgs))
+	}
+	r := NewReassembler(8)
+	var got []byte
+	var modelID uint16
+	for i, m := range msgs {
+		q, id, done, err := r.Offer(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != (i == len(msgs)-1) {
+			t.Fatalf("done=%v at fragment %d/%d", done, i, len(msgs))
+		}
+		if done {
+			got, modelID = q, id
+		}
+	}
+	if !bytes.Equal(got, query) {
+		t.Fatal("reassembled query differs")
+	}
+	if modelID != 5 {
+		t.Errorf("model id = %d", modelID)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("pending = %d after completion", r.Pending())
+	}
+}
+
+func TestReassembleOutOfOrderAndDuplicates(t *testing.T) {
+	query := make([]byte, 5000)
+	for i := range query {
+		query[i] = byte(i)
+	}
+	msgs, _ := Fragment(9, 1, query, 512)
+	// Shuffle and duplicate every fragment.
+	rng := rand.New(rand.NewPCG(4, 4))
+	order := rng.Perm(len(msgs))
+	r := NewReassembler(4)
+	var got []byte
+	for _, i := range order {
+		for rep := 0; rep < 2; rep++ { // duplicate delivery
+			q, _, done, err := r.Offer(msgs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done && got == nil {
+				got = q
+			}
+		}
+	}
+	if !bytes.Equal(got, query) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblerInterleavedRequests(t *testing.T) {
+	qa := bytes.Repeat([]byte{0xaa}, 3000)
+	qb := bytes.Repeat([]byte{0xbb}, 3000)
+	ma, _ := Fragment(1, 1, qa, 512)
+	mb, _ := Fragment(2, 1, qb, 512)
+	r := NewReassembler(4)
+	var gotA, gotB []byte
+	for i := range ma {
+		if q, _, done, _ := r.Offer(ma[i]); done {
+			gotA = q
+		}
+		if q, _, done, _ := r.Offer(mb[i]); done {
+			gotB = q
+		}
+	}
+	if !bytes.Equal(gotA, qa) || !bytes.Equal(gotB, qb) {
+		t.Fatal("interleaved reassembly failed")
+	}
+}
+
+func TestReassemblerTablePressure(t *testing.T) {
+	r := NewReassembler(2)
+	// Three interleaved incomplete queries: the oldest is evicted.
+	for id := uint32(1); id <= 3; id++ {
+		msgs, _ := Fragment(id, 1, make([]byte, 3000), 512)
+		r.Offer(msgs[0])
+	}
+	if r.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", r.Pending())
+	}
+	if r.Drops != 1 {
+		t.Errorf("drops = %d, want 1", r.Drops)
+	}
+}
+
+func TestReassemblerRejectsMalformed(t *testing.T) {
+	r := NewReassembler(4)
+	// Truncated fragment header.
+	if _, _, _, err := r.Offer(&Message{Flags: FlagFragment, Payload: []byte{1}}); err == nil {
+		t.Error("short fragment accepted")
+	}
+	// Offset beyond the declared total.
+	bad := &Message{Flags: FlagFragment, RequestID: 5, Payload: make([]byte, FragHeaderLen+4)}
+	bad.Payload[3] = 200 // offset 200
+	bad.Payload[7] = 8   // total 8
+	if _, _, _, err := r.Offer(bad); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+	// Inconsistent metadata across fragments of one request.
+	msgs, _ := Fragment(6, 1, make([]byte, 3000), 512)
+	r.Offer(msgs[0])
+	evil := *msgs[1]
+	evil.Payload = append([]byte(nil), evil.Payload...)
+	evil.Payload[7] = 99 // different total
+	if _, _, _, err := r.Offer(&evil); err == nil {
+		t.Error("inconsistent fragment accepted")
+	}
+	if r.Pending() != 0 {
+		t.Error("inconsistent request not dropped")
+	}
+}
+
+func TestFragmentTooManyFragments(t *testing.T) {
+	// A query needing >65535 fragments must be rejected.
+	if _, err := Fragment(1, 1, make([]byte, 70000), FragHeaderLen+1); err == nil {
+		t.Error("oversized fragmentation accepted")
+	}
+}
+
+// Property: fragmentation then reassembly is the identity for any payload
+// and any fragment-delivery permutation.
+func TestFragmentRoundTripProperty(t *testing.T) {
+	f := func(data []byte, permSeed uint64) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		msgs, err := Fragment(3, 2, data, 64)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(permSeed, 1))
+		order := rng.Perm(len(msgs))
+		r := NewReassembler(4)
+		var got []byte
+		for _, i := range order {
+			q, _, done, err := r.Offer(msgs[i])
+			if err != nil {
+				return false
+			}
+			if done {
+				got = q
+			}
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package nic
+
+import "time"
+
+// Link models the 100 Gbps Ethernet interface (CMAC) the prototype uses: it
+// accounts serialization time and per-frame overheads so latency experiments
+// charge realistic wire costs.
+type Link struct {
+	// BitsPerSec is the line rate (1e11 for the prototype's CMAC).
+	BitsPerSec float64
+	// OverheadBytes is the per-frame framing cost charged on the wire:
+	// preamble+SFD (8), FCS (4) and inter-packet gap (12).
+	OverheadBytes int
+
+	// TxFrames, TxBytes account transmitted traffic.
+	TxFrames, TxBytes uint64
+}
+
+// NewLink returns the prototype's 100 Gbps CMAC model.
+func NewLink() *Link {
+	return &Link{BitsPerSec: 100e9, OverheadBytes: 24}
+}
+
+// SerializationTime returns the wire time for one frame of n payload bytes.
+func (l *Link) SerializationTime(n int) time.Duration {
+	bits := float64(n+l.OverheadBytes) * 8
+	return time.Duration(bits / l.BitsPerSec * 1e9)
+}
+
+// Transmit accounts a frame and returns its serialization time.
+func (l *Link) Transmit(n int) time.Duration {
+	l.TxFrames++
+	l.TxBytes += uint64(n)
+	return l.SerializationTime(n)
+}
+
+// UtilizedBps returns the average offered load given an observation window.
+func (l *Link) UtilizedBps(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(l.TxBytes) * 8 / window.Seconds()
+}

@@ -1,0 +1,293 @@
+package nic
+
+import (
+	"fmt"
+)
+
+// Verdict classifies what the packet parser decided about a frame (§4
+// step 1 and §6.1 "Packet processing").
+type Verdict int
+
+// Parser verdicts.
+const (
+	// VerdictInference routes the frame into the compute datapath.
+	VerdictInference Verdict = iota
+	// VerdictForward punts a regular packet to the local host over PCIe.
+	VerdictForward
+	// VerdictDrop discards the frame (IDS block or malformed input).
+	VerdictDrop
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictInference:
+		return "inference"
+	case VerdictForward:
+		return "forward"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Parsed is the parser's output for one frame.
+type Parsed struct {
+	Verdict Verdict
+	// Flow is the transport five-tuple (valid for IPv4 transport frames).
+	Flow FiveTuple
+	// Msg is the decoded inference query when Verdict is
+	// VerdictInference.
+	Msg Message
+	// Reason explains drops.
+	Reason string
+}
+
+// ParserStats counts parser outcomes.
+type ParserStats struct {
+	Frames, Inference, Forwarded, Dropped uint64
+	Malformed                             uint64
+}
+
+// Parser is Lightning's packet parser: it identifies inference queries from
+// regular packets by UDP destination port, extracts the model ID and user
+// data, and punts everything else toward the host. An optional IDS inspects
+// every frame first (§6.1: "advanced smartNIC features, such as intrusion
+// detection").
+type Parser struct {
+	// Port is the inference destination port (InferencePort by default).
+	Port uint16
+	// IDS, when set, can veto frames before any other processing.
+	IDS *IDS
+	// Flows, when set, tracks per-flow statistics.
+	Flows *FlowTable
+
+	Stats ParserStats
+}
+
+// NewParser returns a parser with the default port and the standard IDS and
+// flow table attached.
+func NewParser() *Parser {
+	return &Parser{Port: InferencePort, IDS: NewIDS(), Flows: NewFlowTable(65536)}
+}
+
+// Parse inspects one Ethernet frame and classifies it.
+func (p *Parser) Parse(frame []byte) Parsed {
+	p.Stats.Frames++
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		p.Stats.Malformed++
+		p.Stats.Dropped++
+		return Parsed{Verdict: VerdictDrop, Reason: err.Error()}
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		p.Stats.Forwarded++
+		return Parsed{Verdict: VerdictForward, Reason: "non-IPv4"}
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+		p.Stats.Malformed++
+		p.Stats.Dropped++
+		return Parsed{Verdict: VerdictDrop, Reason: err.Error()}
+	}
+
+	out := Parsed{Flow: FiveTuple{Src: ip.Src, Dst: ip.Dst, Proto: ip.Protocol}}
+	if ip.Protocol == IPProtoUDP {
+		var udp UDP
+		if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+			p.Stats.Malformed++
+			p.Stats.Dropped++
+			return Parsed{Verdict: VerdictDrop, Reason: err.Error()}
+		}
+		out.Flow.SrcPort, out.Flow.DstPort = udp.SrcPort, udp.DstPort
+
+		if p.Flows != nil {
+			p.Flows.Record(out.Flow, len(frame))
+		}
+		if p.IDS != nil {
+			if blocked, why := p.IDS.Inspect(out.Flow, len(frame)); blocked {
+				p.Stats.Dropped++
+				out.Verdict = VerdictDrop
+				out.Reason = why
+				return out
+			}
+		}
+		if udp.DstPort == p.Port {
+			if err := out.Msg.Decode(udp.Payload()); err != nil {
+				p.Stats.Malformed++
+				p.Stats.Dropped++
+				out.Verdict = VerdictDrop
+				out.Reason = err.Error()
+				return out
+			}
+			p.Stats.Inference++
+			out.Verdict = VerdictInference
+			return out
+		}
+	} else if p.Flows != nil {
+		p.Flows.Record(out.Flow, len(frame))
+	}
+	p.Stats.Forwarded++
+	out.Verdict = VerdictForward
+	return out
+}
+
+// FlowStats aggregates one flow's traffic, the features the traffic
+// classification DNN consumes.
+type FlowStats struct {
+	Packets uint64
+	Bytes   uint64
+	MinLen  int
+	MaxLen  int
+}
+
+// FlowTable tracks per-five-tuple statistics with a bounded entry count.
+type FlowTable struct {
+	cap     int
+	entries map[FiveTuple]*FlowStats
+	// Evictions counts table-full discards.
+	Evictions uint64
+}
+
+// NewFlowTable allocates a table bounded to capacity flows.
+func NewFlowTable(capacity int) *FlowTable {
+	return &FlowTable{cap: capacity, entries: make(map[FiveTuple]*FlowStats)}
+}
+
+// Record accounts one frame to its flow.
+func (t *FlowTable) Record(f FiveTuple, frameLen int) *FlowStats {
+	st, ok := t.entries[f]
+	if !ok {
+		if len(t.entries) >= t.cap {
+			// Bounded table: discard an arbitrary entry, as a hardware
+			// hash table would on collision.
+			for victim := range t.entries {
+				delete(t.entries, victim)
+				t.Evictions++
+				break
+			}
+		}
+		st = &FlowStats{MinLen: frameLen, MaxLen: frameLen}
+		t.entries[f] = st
+	}
+	st.Packets++
+	st.Bytes += uint64(frameLen)
+	if frameLen < st.MinLen {
+		st.MinLen = frameLen
+	}
+	if frameLen > st.MaxLen {
+		st.MaxLen = frameLen
+	}
+	return st
+}
+
+// Lookup returns a flow's stats.
+func (t *FlowTable) Lookup(f FiveTuple) (*FlowStats, bool) {
+	st, ok := t.entries[f]
+	return st, ok
+}
+
+// Len returns the tracked flow count.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Features extracts the 32-element normalized feature vector (packet and
+// byte counts, length extremes, port entropy proxies) the NIC-resident
+// classification models consume.
+func (t *FlowTable) Features(f FiveTuple) [32]uint8 {
+	var out [32]uint8
+	st, ok := t.entries[f]
+	if !ok {
+		return out
+	}
+	clamp := func(v uint64) uint8 {
+		if v > 255 {
+			return 255
+		}
+		return uint8(v)
+	}
+	out[0] = clamp(st.Packets)
+	out[1] = clamp(st.Bytes / 64)
+	out[2] = clamp(uint64(st.MinLen / 8))
+	out[3] = clamp(uint64(st.MaxLen / 8))
+	out[4] = uint8(f.SrcPort >> 8)
+	out[5] = uint8(f.SrcPort)
+	out[6] = uint8(f.DstPort >> 8)
+	out[7] = uint8(f.DstPort)
+	out[8] = f.Proto
+	src := f.Src.As4()
+	dst := f.Dst.As4()
+	copy(out[9:13], src[:])
+	copy(out[13:17], dst[:])
+	if st.Packets > 0 {
+		out[17] = clamp(st.Bytes / st.Packets / 8) // mean length proxy
+	}
+	return out
+}
+
+// IDS is a per-source-address rate-based intrusion detector: a source that
+// touches too many distinct destination ports (a scan) or exceeds a packet
+// budget is blocked. It stands in for the prototype's intrusion-detection
+// offload.
+type IDS struct {
+	// MaxPortsPerSrc blocks sources scanning more destination ports.
+	MaxPortsPerSrc int
+	// MaxPacketsPerSrc blocks sources exceeding this packet budget.
+	MaxPacketsPerSrc uint64
+
+	ports   map[string]map[uint16]struct{}
+	packets map[string]uint64
+	blocked map[string]string
+
+	// Blocks counts the distinct sources blocked.
+	Blocks uint64
+}
+
+// NewIDS returns an IDS with scan-detection defaults.
+func NewIDS() *IDS {
+	return &IDS{
+		MaxPortsPerSrc:   128,
+		MaxPacketsPerSrc: 1 << 20,
+		ports:            make(map[string]map[uint16]struct{}),
+		packets:          make(map[string]uint64),
+		blocked:          make(map[string]string),
+	}
+}
+
+// Inspect examines one frame's flow; it reports whether the frame must be
+// dropped and why.
+func (s *IDS) Inspect(f FiveTuple, frameLen int) (blocked bool, reason string) {
+	src := f.Src.String()
+	if why, bad := s.blocked[src]; bad {
+		return true, why
+	}
+	s.packets[src]++
+	pp := s.ports[src]
+	if pp == nil {
+		pp = make(map[uint16]struct{})
+		s.ports[src] = pp
+	}
+	pp[f.DstPort] = struct{}{}
+	switch {
+	case len(pp) > s.MaxPortsPerSrc:
+		s.block(src, "port scan")
+		return true, "port scan"
+	case s.packets[src] > s.MaxPacketsPerSrc:
+		s.block(src, "packet flood")
+		return true, "packet flood"
+	}
+	return false, ""
+}
+
+func (s *IDS) block(src, why string) {
+	if _, dup := s.blocked[src]; !dup {
+		s.Blocks++
+	}
+	s.blocked[src] = why
+}
+
+// Blocked reports whether a source address is currently blocked.
+func (s *IDS) Blocked(src string) bool {
+	_, ok := s.blocked[src]
+	return ok
+}

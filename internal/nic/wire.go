@@ -1,0 +1,150 @@
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The Lightning wire protocol. Inference queries arrive in UDP datagrams on
+// InferencePort; the parser identifies them "based on the destination port
+// number field in the incoming packet header" and extracts "the DNN model ID
+// and corresponding user data" (§4).
+//
+// Layout (big-endian):
+//
+//	offset size field
+//	0      2    magic 0x4C50 ("LP")
+//	2      1    version (1)
+//	3      1    flags (bit0 response, bit1 error, bit2 header-data)
+//	4      4    request id
+//	8      2    model id
+//	10     2    payload length
+//	12     n    payload (query data, or response result)
+const (
+	// InferencePort is the UDP destination port identifying inference
+	// queries (4055 after the prototype's 4.055 GHz).
+	InferencePort = 4055
+
+	// WireMagic marks Lightning datagrams.
+	WireMagic uint16 = 0x4C50
+
+	// WireVersion is the protocol version this implementation speaks.
+	WireVersion = 1
+
+	// WireHeaderLen is the fixed header size.
+	WireHeaderLen = 12
+)
+
+// Wire header flags.
+const (
+	FlagResponse   = 1 << 0
+	FlagError      = 1 << 1
+	FlagHeaderData = 1 << 2 // query data derived from packet headers, not payload
+)
+
+// Message is a Lightning request or response.
+type Message struct {
+	Flags     uint8
+	RequestID uint32
+	ModelID   uint16
+	Payload   []byte
+}
+
+// IsResponse reports whether the message is a response.
+func (m *Message) IsResponse() bool { return m.Flags&FlagResponse != 0 }
+
+// IsError reports whether a response carries an error indication.
+func (m *Message) IsError() bool { return m.Flags&FlagError != 0 }
+
+// Decode parses a Lightning message from a UDP payload.
+func (m *Message) Decode(data []byte) error {
+	if len(data) < WireHeaderLen {
+		return fmt.Errorf("%w: lightning header needs %d bytes, got %d", ErrTruncated, WireHeaderLen, len(data))
+	}
+	if magic := binary.BigEndian.Uint16(data[0:2]); magic != WireMagic {
+		return fmt.Errorf("nic: bad magic %#04x", magic)
+	}
+	if v := data[2]; v != WireVersion {
+		return fmt.Errorf("nic: unsupported wire version %d", v)
+	}
+	m.Flags = data[3]
+	m.RequestID = binary.BigEndian.Uint32(data[4:8])
+	m.ModelID = binary.BigEndian.Uint16(data[8:10])
+	n := int(binary.BigEndian.Uint16(data[10:12]))
+	if len(data) < WireHeaderLen+n {
+		return fmt.Errorf("%w: payload wants %d bytes, %d available", ErrTruncated, n, len(data)-WireHeaderLen)
+	}
+	m.Payload = data[WireHeaderLen : WireHeaderLen+n]
+	return nil
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.Payload) > 0xffff {
+		return nil, fmt.Errorf("nic: payload %d exceeds 64 KiB", len(m.Payload))
+	}
+	out := make([]byte, 0, WireHeaderLen+len(m.Payload))
+	out = binary.BigEndian.AppendUint16(out, WireMagic)
+	out = append(out, WireVersion, m.Flags)
+	out = binary.BigEndian.AppendUint32(out, m.RequestID)
+	out = binary.BigEndian.AppendUint16(out, m.ModelID)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Payload)))
+	return append(out, m.Payload...), nil
+}
+
+// Response carries an inference result back to the requester. The payload
+// layout is: 2-byte predicted class, then one probability code per class.
+type Response struct {
+	RequestID uint32
+	ModelID   uint16
+	Class     uint16
+	Probs     []uint8
+	Err       bool
+}
+
+// ToMessage packs the response into a wire message.
+func (r *Response) ToMessage() *Message {
+	flags := uint8(FlagResponse)
+	if r.Err {
+		flags |= FlagError
+	}
+	payload := make([]byte, 2+len(r.Probs))
+	binary.BigEndian.PutUint16(payload[0:2], r.Class)
+	copy(payload[2:], r.Probs)
+	return &Message{Flags: flags, RequestID: r.RequestID, ModelID: r.ModelID, Payload: payload}
+}
+
+// ParseResponse unpacks a response message.
+func ParseResponse(m *Message) (*Response, error) {
+	if !m.IsResponse() {
+		return nil, fmt.Errorf("nic: message is not a response")
+	}
+	if len(m.Payload) < 2 {
+		return nil, fmt.Errorf("%w: response payload", ErrTruncated)
+	}
+	return &Response{
+		RequestID: m.RequestID,
+		ModelID:   m.ModelID,
+		Class:     binary.BigEndian.Uint16(m.Payload[0:2]),
+		Probs:     m.Payload[2:],
+		Err:       m.IsError(),
+	}, nil
+}
+
+// BuildQueryFrame assembles a full Ethernet/IPv4/UDP/Lightning query frame —
+// what a remote user's stack emits toward the smartNIC.
+func BuildQueryFrame(eth Ethernet, ip IPv4, srcPort uint16, msg *Message) ([]byte, error) {
+	body, err := msg.Encode()
+	if err != nil {
+		return nil, err
+	}
+	udp := UDP{SrcPort: srcPort, DstPort: InferencePort}
+	seg := udp.AppendTo(nil, body)
+	ip.Protocol = IPProtoUDP
+	if ip.TTL == 0 {
+		ip.TTL = 64
+	}
+	pkt := ip.AppendTo(nil, seg)
+	eth.EtherType = EtherTypeIPv4
+	return eth.AppendTo(nil, pkt), nil
+}

@@ -1,0 +1,113 @@
+package nic
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{Flags: FlagHeaderData, RequestID: 0xdeadbeef, ModelID: 3, Payload: []byte{1, 2, 3, 4}}
+	raw, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Message
+	if err := d.Decode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if d.RequestID != m.RequestID || d.ModelID != m.ModelID || d.Flags != m.Flags {
+		t.Errorf("decoded %+v", d)
+	}
+	if !bytes.Equal(d.Payload, m.Payload) {
+		t.Errorf("payload = %v", d.Payload)
+	}
+}
+
+func TestMessageDecodeErrors(t *testing.T) {
+	var d Message
+	if err := d.Decode(make([]byte, 5)); err == nil {
+		t.Error("short header accepted")
+	}
+	m := Message{Payload: []byte{1}}
+	raw, _ := m.Encode()
+	raw[0] = 0 // break magic
+	if err := d.Decode(raw); err == nil {
+		t.Error("bad magic accepted")
+	}
+	raw2, _ := m.Encode()
+	raw2[2] = 99 // bad version
+	if err := d.Decode(raw2); err == nil {
+		t.Error("bad version accepted")
+	}
+	raw3, _ := m.Encode()
+	raw3 = raw3[:len(raw3)-1] // truncate payload
+	if err := d.Decode(raw3); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestMessageEncodeTooLarge(t *testing.T) {
+	m := Message{Payload: make([]byte, 70000)}
+	if _, err := m.Encode(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := Response{RequestID: 7, ModelID: 2, Class: 9, Probs: []uint8{0, 10, 245}}
+	m := r.ToMessage()
+	if !m.IsResponse() || m.IsError() {
+		t.Error("flags wrong")
+	}
+	got, err := ParseResponse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != 9 || got.RequestID != 7 || len(got.Probs) != 3 || got.Probs[2] != 245 {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func TestResponseErrorFlag(t *testing.T) {
+	r := Response{Err: true}
+	m := r.ToMessage()
+	got, err := ParseResponse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Err {
+		t.Error("error flag lost")
+	}
+}
+
+func TestParseResponseRejectsQuery(t *testing.T) {
+	if _, err := ParseResponse(&Message{}); err == nil {
+		t.Error("query parsed as response")
+	}
+	if _, err := ParseResponse(&Message{Flags: FlagResponse, Payload: []byte{1}}); err == nil {
+		t.Error("short response accepted")
+	}
+}
+
+func TestBuildQueryFrameParses(t *testing.T) {
+	msg := &Message{RequestID: 42, ModelID: 1, Payload: []byte{10, 20, 30}}
+	frame, err := BuildQueryFrame(
+		Ethernet{Dst: testDstMAC, Src: testSrcMAC},
+		IPv4{Src: netip.MustParseAddr("192.0.2.1"), Dst: netip.MustParseAddr("192.0.2.2")},
+		9000, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParser()
+	out := p.Parse(frame)
+	if out.Verdict != VerdictInference {
+		t.Fatalf("verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+	if out.Msg.RequestID != 42 || out.Msg.ModelID != 1 {
+		t.Errorf("msg = %+v", out.Msg)
+	}
+	if out.Flow.DstPort != InferencePort || out.Flow.SrcPort != 9000 {
+		t.Errorf("flow = %+v", out.Flow)
+	}
+}

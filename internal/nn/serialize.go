@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Quantized-model serialization: a compact versioned binary format so
+// trained models can be shipped to a NIC over the PCIe update path or saved
+// by the serve tooling. Layout (little-endian):
+//
+//	magic   uint32 "LQN1"
+//	layers  uint16
+//	sizes   uint32 × (layers+1)
+//	per layer:
+//	  shift  uint8
+//	  final  uint8
+//	  wscale float64 bits
+//	  weights: mag bytes row-major + packed sign bitmap (dagloader codec)
+//	  bias:   int16 × out
+const quantMagic = 0x4c514e31 // "LQN1"
+
+// WriteTo serializes the network.
+func (q *QuantizedNetwork) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if err := write(uint32(quantMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint16(len(q.Layers))); err != nil {
+		return cw.n, err
+	}
+	for _, s := range q.Sizes {
+		if err := write(uint32(s)); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, l := range q.Layers {
+		final := uint8(0)
+		if l.Final {
+			final = 1
+		}
+		if err := write(uint8(l.Shift)); err != nil {
+			return cw.n, err
+		}
+		if err := write(final); err != nil {
+			return cw.n, err
+		}
+		if err := write(math.Float64bits(l.WScale.Max)); err != nil {
+			return cw.n, err
+		}
+		if err := write(encodeWeights(l.Weights)); err != nil {
+			return cw.n, err
+		}
+		for _, b := range l.Bias {
+			if err := write(int16(b)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadQuantized deserializes a network written by WriteTo.
+func ReadQuantized(r io.Reader) (*QuantizedNetwork, error) {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint32
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != quantMagic {
+		return nil, fmt.Errorf("nn: bad magic %#08x", magic)
+	}
+	var layers uint16
+	if err := read(&layers); err != nil {
+		return nil, err
+	}
+	if layers == 0 || layers > 1024 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", layers)
+	}
+	q := &QuantizedNetwork{Sizes: make([]int, layers+1)}
+	for i := range q.Sizes {
+		var s uint32
+		if err := read(&s); err != nil {
+			return nil, err
+		}
+		if s == 0 || s > 1<<24 {
+			return nil, fmt.Errorf("nn: implausible layer size %d", s)
+		}
+		q.Sizes[i] = int(s)
+	}
+	for l := 0; l < int(layers); l++ {
+		in, out := q.Sizes[l], q.Sizes[l+1]
+		var shift, final uint8
+		var scaleBits uint64
+		if err := read(&shift); err != nil {
+			return nil, err
+		}
+		if err := read(&final); err != nil {
+			return nil, err
+		}
+		if err := read(&scaleBits); err != nil {
+			return nil, err
+		}
+		n := in * out
+		blob := make([]byte, n+(n+7)/8)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, fmt.Errorf("nn: reading layer %d weights: %w", l, err)
+		}
+		weights, err := decodeWeights(blob, out, in)
+		if err != nil {
+			return nil, err
+		}
+		bias := make([]fixed.Acc, out)
+		for j := range bias {
+			var b int16
+			if err := read(&b); err != nil {
+				return nil, err
+			}
+			bias[j] = fixed.Acc(b)
+		}
+		q.Layers = append(q.Layers, QuantizedLayer{
+			Weights: weights,
+			Bias:    bias,
+			Shift:   uint(shift),
+			Final:   final != 0,
+			WScale:  fixed.Scale{Max: math.Float64frombits(scaleBits)},
+		})
+	}
+	return q, nil
+}
+
+// encodeWeights/decodeWeights mirror the dagloader DRAM codec (duplicated
+// here to keep nn free of a dagloader dependency; both are covered by
+// round-trip tests).
+func encodeWeights(w [][]fixed.Signed) []byte {
+	rows, cols := len(w), len(w[0])
+	n := rows * cols
+	out := make([]byte, n+(n+7)/8)
+	for j, row := range w {
+		for i, s := range row {
+			idx := j*cols + i
+			out[idx] = byte(s.Mag)
+			if s.Neg {
+				out[n+idx/8] |= 1 << (idx % 8)
+			}
+		}
+	}
+	return out
+}
+
+func decodeWeights(blob []byte, rows, cols int) ([][]fixed.Signed, error) {
+	n := rows * cols
+	if len(blob) != n+(n+7)/8 {
+		return nil, fmt.Errorf("nn: weight blob size %d for %dx%d", len(blob), rows, cols)
+	}
+	w := make([][]fixed.Signed, rows)
+	for j := range w {
+		w[j] = make([]fixed.Signed, cols)
+		for i := range w[j] {
+			idx := j*cols + i
+			w[j][i] = fixed.Signed{
+				Mag: fixed.Code(blob[idx]),
+				Neg: blob[n+idx/8]&(1<<(idx%8)) != 0,
+			}
+		}
+	}
+	return w, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/dataset"
+)
+
+func TestQuantizedSerializeRoundTrip(t *testing.T) {
+	set := dataset.Anomaly(300, 17)
+	n := New(1, dataset.FlowFeatureWidth, 16, 8, 2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	n.Train(set, cfg)
+	q := Quantize(n, set)
+
+	var buf bytes.Buffer
+	written, err := q.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", written, buf.Len())
+	}
+	got, err := ReadQuantized(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sizes) != len(q.Sizes) {
+		t.Fatalf("sizes = %v, want %v", got.Sizes, q.Sizes)
+	}
+	for l := range q.Layers {
+		a, b := q.Layers[l], got.Layers[l]
+		if a.Shift != b.Shift || a.Final != b.Final || a.WScale != b.WScale {
+			t.Errorf("layer %d metadata mismatch", l)
+		}
+		for j := range a.Weights {
+			for i := range a.Weights[j] {
+				if a.Weights[j][i] != b.Weights[j][i] {
+					t.Fatalf("layer %d weight [%d][%d] mismatch", l, j, i)
+				}
+			}
+		}
+		for j := range a.Bias {
+			if a.Bias[j] != b.Bias[j] {
+				t.Fatalf("layer %d bias %d mismatch", l, j)
+			}
+		}
+	}
+	// Behavioural equality: identical inference on every example.
+	for i := range set.Examples {
+		ca, _ := q.Infer(set.Examples[i].X)
+		cb, _ := got.Infer(set.Examples[i].X)
+		if ca != cb {
+			t.Fatalf("example %d: classes diverge after round trip", i)
+		}
+	}
+}
+
+func TestReadQuantizedRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		{0x31, 0x4e, 0x51, 0x4c, 0xff, 0xff}, // right magic, absurd layer count
+	}
+	for i, c := range cases {
+		if _, err := ReadQuantized(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid stream.
+	set := dataset.Anomaly(50, 1)
+	n := New(1, dataset.FlowFeatureWidth, 4, 2)
+	q := Quantize(n, set)
+	var buf bytes.Buffer
+	q.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadQuantized(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

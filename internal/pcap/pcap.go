@@ -1,0 +1,147 @@
+// Package pcap reads and writes the classic libpcap capture format
+// (Ethernet link type), so traffic through the simulated smartNIC can be
+// captured and inspected with standard tooling — the debugging aid a
+// hardware bring-up team runs alongside the Verilator testbench.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic pcap constants.
+const (
+	magicNumber  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+	// defaultSnapLen captures whole frames.
+	defaultSnapLen = 262144
+)
+
+// ErrBadMagic marks a non-pcap (or byte-swapped) stream.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	started bool
+	// Packets counts frames written.
+	Packets uint64
+}
+
+// NewWriter wraps an io.Writer; the file header is emitted lazily on the
+// first packet (or explicitly via WriteHeader).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteHeader emits the global pcap header.
+func (w *Writer) WriteHeader() error {
+	if w.started {
+		return nil
+	}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNumber)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], defaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := w.w.Write(hdr); err != nil {
+		return fmt.Errorf("pcap: writing header: %w", err)
+	}
+	w.started = true
+	return nil
+}
+
+// WritePacket appends one captured frame with the given timestamp.
+func (w *Writer) WritePacket(ts time.Time, frame []byte) error {
+	if err := w.WriteHeader(); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(rec); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		return fmt.Errorf("pcap: writing frame: %w", err)
+	}
+	w.Packets++
+	return nil
+}
+
+// Packet is one captured frame.
+type Packet struct {
+	Timestamp time.Time
+	Data      []byte
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r io.Reader
+	// LinkType is the stream's declared link layer.
+	LinkType uint32
+}
+
+// NewReader parses the global header and returns a packet reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("pcap: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magicNumber {
+		return nil, ErrBadMagic
+	}
+	maj := binary.LittleEndian.Uint16(hdr[4:6])
+	if maj != versionMajor {
+		return nil, fmt.Errorf("pcap: unsupported version %d", maj)
+	}
+	return &Reader{r: r, LinkType: binary.LittleEndian.Uint32(hdr[20:24])}, nil
+}
+
+// Next returns the next packet, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Packet, error) {
+	rec := make([]byte, 16)
+	if _, err := io.ReadFull(r.r, rec); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	usec := binary.LittleEndian.Uint32(rec[4:8])
+	capLen := binary.LittleEndian.Uint32(rec[8:12])
+	if capLen > defaultSnapLen {
+		return Packet{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, fmt.Errorf("pcap: reading frame: %w", err)
+	}
+	return Packet{
+		Timestamp: time.Unix(int64(sec), int64(usec)*1000),
+		Data:      data,
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Packet, error) {
+	var out []Packet
+	for {
+		p, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

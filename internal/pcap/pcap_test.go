@@ -1,0 +1,129 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	t0 := time.Unix(1700000000, 123456000)
+	frames := [][]byte{
+		{1, 2, 3, 4, 5, 6},
+		bytes.Repeat([]byte{0xaa}, 1500),
+		{},
+	}
+	for i, f := range frames {
+		if err := w.WritePacket(t0.Add(time.Duration(i)*time.Second), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 3 {
+		t.Errorf("Packets = %d", w.Packets)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("packets = %d", len(got))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i].Data, frames[i]) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		want := t0.Add(time.Duration(i) * time.Second)
+		if got[i].Timestamp.Unix() != want.Unix() {
+			t.Errorf("packet %d ts = %v", i, got[i].Timestamp)
+		}
+	}
+	// Microsecond precision preserved.
+	if got[0].Timestamp.Nanosecond() != 123456000 {
+		t.Errorf("ts nanos = %d", got[0].Timestamp.Nanosecond())
+	}
+}
+
+func TestWriteHeaderIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteHeader()
+	w.WriteHeader()
+	if buf.Len() != 24 {
+		t.Errorf("double header: %d bytes", buf.Len())
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated packet body.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WritePacket(time.Now(), []byte{1, 2, 3, 4})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestNextEOF(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf).WriteHeader()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+// TestCaptureOfNICTraffic captures a real query frame and re-parses it from
+// the capture with the NIC's own parser.
+func TestCaptureOfNICTraffic(t *testing.T) {
+	frame, err := nic.BuildQueryFrame(
+		nic.Ethernet{Dst: nic.MAC{2, 0, 0, 0, 0, 2}, Src: nic.MAC{2, 0, 0, 0, 0, 1}},
+		nic.IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2")},
+		5000, &nic.Message{RequestID: 9, ModelID: 3, Payload: []byte{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePacket(time.Now(), frame); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nic.NewParser().Parse(pkt.Data)
+	if out.Verdict != nic.VerdictInference || out.Msg.RequestID != 9 {
+		t.Errorf("recaptured frame parsed as %v (%+v)", out.Verdict, out.Msg)
+	}
+}

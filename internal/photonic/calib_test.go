@@ -1,0 +1,103 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitPolynomialExact(t *testing.T) {
+	// y = 2 + 3x - x^2 must be recovered exactly from samples.
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*x - x*x
+	}
+	p, err := FitPolynomial(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("coef %d = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if y := p.Eval(1.5); math.Abs(y-(2+4.5-2.25)) > 1e-9 {
+		t.Errorf("Eval(1.5) = %v", y)
+	}
+}
+
+func TestFitPolynomialErrors(t *testing.T) {
+	if _, err := FitPolynomial([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitPolynomial([]float64{1, 2}, []float64{1, 2}, 3); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	// Degenerate x values make the normal equations singular.
+	if _, err := FitPolynomial([]float64{1, 1, 1}, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestModulatorCalibrationInversion(t *testing.T) {
+	m := NewMZModulator(0.8)
+	NewBiasController().Lock(m, 1)
+	cal, err := CalibrateModulator(m, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property: encoding u then measuring the real device recovers u within
+	// a fraction of an 8-bit LSB.
+	for u := 0.0; u <= 1.0001; u += 1.0 / 64 {
+		v := cal.VoltageFor(u)
+		got := (m.Modulate(1, v) - cal.IMin) / (cal.IMax - cal.IMin)
+		if math.Abs(got-u) > 1.0/512 {
+			t.Fatalf("u=%v: recovered %v (err %v > half LSB)", u, got, math.Abs(got-u))
+		}
+	}
+}
+
+func TestVoltageForClamps(t *testing.T) {
+	m := NewMZModulator(0)
+	NewBiasController().Lock(m, 1)
+	cal, err := CalibrateModulator(m, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cal.VoltageFor(-0.5); v != cal.Lo {
+		t.Errorf("VoltageFor(-0.5) = %v, want Lo", v)
+	}
+	if v := cal.VoltageFor(1.5); v != cal.Hi {
+		t.Errorf("VoltageFor(1.5) = %v, want Hi", v)
+	}
+}
+
+func TestDetectorCalibrationLinearMap(t *testing.T) {
+	pd := NewPhotodetector()
+	cal := CalibrateDetector(pd, 1.0, 0, 255)
+	if r := cal.Reading(pd.Detect(Light{})); math.Abs(r) > 1e-12 {
+		t.Errorf("dark reading = %v, want 0", r)
+	}
+	if r := cal.Reading(pd.Detect(Light{Lambda1: 1})); math.Abs(r-255) > 1e-9 {
+		t.Errorf("full reading = %v, want 255", r)
+	}
+	if r := cal.Reading(pd.Detect(Light{Lambda1: 0.5})); math.Abs(r-127.5) > 1e-9 {
+		t.Errorf("half reading = %v, want 127.5", r)
+	}
+	// Round trip.
+	if i := cal.Intensity(cal.Reading(0.42)); math.Abs(i-0.42) > 1e-9 {
+		t.Errorf("intensity round trip = %v", i)
+	}
+}
+
+func TestDetectorCalibrationDegenerate(t *testing.T) {
+	c := &DetectorCalibration{IMin: 1, IMax: 1, RMin: 5, RMax: 9}
+	if r := c.Reading(1); r != 5 {
+		t.Errorf("degenerate Reading = %v, want RMin", r)
+	}
+	c2 := &DetectorCalibration{IMin: 0, IMax: 1, RMin: 3, RMax: 3}
+	if i := c2.Intensity(3); i != 0 {
+		t.Errorf("degenerate Intensity = %v, want IMin", i)
+	}
+}

@@ -1,0 +1,228 @@
+package photonic
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Lane is one wavelength's compute path: two cascaded amplitude modulators
+// performing a photonic multiplication (Fig 2a). The first modulator encodes
+// operand a onto the carrier; the second multiplies by operand b.
+type Lane struct {
+	Lambda     Wavelength
+	Mod1, Mod2 *MZModulator
+	Cal1, Cal2 *ModulatorCalibration
+
+	// volt1, volt2 are per-code drive-voltage lookup tables derived from
+	// the calibrations: operands are 8-bit, so the encode map has exactly
+	// 256 entries per modulator. Real deployments bake the same table
+	// into the datapath to avoid inverting the transfer function online.
+	volt1, volt2 [256]float64
+}
+
+// NewLane builds and calibrates a lane at the given wavelength. Each
+// modulator gets its own intrinsic phase offset (devices differ), is locked
+// at maximum extinction by the bias controller, and is swept to fit its
+// encode polynomial (Appendix A/B).
+func NewLane(w Wavelength, phase1, phase2 float64) (*Lane, error) {
+	m1 := NewMZModulator(phase1)
+	m2 := NewMZModulator(phase2)
+	bc := NewBiasController()
+	// Lock the null so zero drive produces (near) zero light, making a
+	// zero operand multiply to zero (Appendix B).
+	bc.Lock(m1, 1)
+	bc.Lock(m2, 1)
+	c1, err := CalibrateModulator(m1, 1, 256)
+	if err != nil {
+		return nil, fmt.Errorf("calibrating modulator 1: %w", err)
+	}
+	c2, err := CalibrateModulator(m2, 1, 256)
+	if err != nil {
+		return nil, fmt.Errorf("calibrating modulator 2: %w", err)
+	}
+	l := &Lane{Lambda: w, Mod1: m1, Mod2: m2, Cal1: c1, Cal2: c2}
+	for code := 0; code < 256; code++ {
+		u := float64(code) / 255
+		l.volt1[code] = c1.VoltageFor(u)
+		l.volt2[code] = c2.VoltageFor(u)
+	}
+	return l, nil
+}
+
+// TransmitCodes is the 8-bit fast path of Transmit: operands arrive as DAC
+// codes and drive voltages come from the calibrated lookup tables.
+func (l *Lane) TransmitCodes(carrier float64, a, b fixed.Code) float64 {
+	i1 := l.Mod1.Modulate(carrier, l.volt1[a])
+	return l.Mod2.Modulate(i1, l.volt2[b])
+}
+
+// Transmit pushes a carrier of the given intensity through the cascaded
+// modulators driven to encode normalized operands ua, ub in [0, 1] and
+// returns the double-modulated output intensity — proportional to ua×ub.
+func (l *Lane) Transmit(carrier, ua, ub float64) float64 {
+	i1 := l.Mod1.Modulate(carrier, l.Cal1.VoltageFor(ua))
+	return l.Mod2.Modulate(i1, l.Cal2.VoltageFor(ub))
+}
+
+// dark returns the lane's output intensity with both operands at zero.
+func (l *Lane) dark(carrier float64) float64 { return l.Transmit(carrier, 0, 0) }
+
+// full returns the lane's output intensity with both operands at maximum.
+func (l *Lane) full(carrier float64) float64 { return l.Transmit(carrier, 1, 1) }
+
+// Core is a calibrated photonic vector dot-product core (Fig 2). It owns a
+// set of wavelength lanes whose outputs a single photodetector accumulates,
+// plus the detector-side decode calibration and analog noise model.
+type Core struct {
+	lanes []*Lane
+	pd    *Photodetector
+	noise *NoiseModel
+	// FullScaleLanes sets the detector-side decode range: a reading of
+	// 255 corresponds to FullScaleLanes lanes at full intensity. The
+	// default of 1 matches the micro-benchmark convention of Fig 14
+	// (single-lane full scale); the NIC datapath sets it to NumLanes so
+	// multi-wavelength accumulations can never clip the ADC — the digital
+	// adder then re-applies the known gain.
+	FullScaleLanes int
+	// darkPerLane and spanPerLane are the background-subtraction constants
+	// derived at calibration time.
+	darkPerLane float64
+	spanPerLane float64
+	// Steps counts analog time steps performed, for throughput accounting.
+	Steps uint64
+}
+
+// NewCore builds a core with n wavelength lanes and the given noise model
+// (nil for an ideal channel). Lane phase offsets are deterministic but
+// distinct, mimicking device-to-device variation.
+func NewCore(n int, noise *NoiseModel) (*Core, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("photonic: core needs at least one lane, got %d", n)
+	}
+	comb := NewCombLaser(n)
+	lanes := make([]*Lane, n)
+	for i := range lanes {
+		l, err := NewLane(comb.Carrier(i), 0.3+0.05*float64(i), -0.2+0.07*float64(i))
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = l
+	}
+	c := &Core{lanes: lanes, pd: NewPhotodetector(), noise: noise}
+	c.darkPerLane = lanes[0].dark(1)
+	c.spanPerLane = lanes[0].full(1) - c.darkPerLane
+	return c, nil
+}
+
+// NewPrototypeCore builds the testbed configuration of §6.1: two wavelengths
+// (1544.53 nm and 1552.52 nm), four modulators, one photodetector, and the
+// calibrated prototype noise of Fig 18.
+func NewPrototypeCore(seed uint64) (*Core, error) {
+	l1, err := NewLane(Lambda1, 0.3, -0.2)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewLane(Lambda2, 0.35, -0.13)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		lanes: []*Lane{l1, l2},
+		pd:    NewPhotodetector(),
+		noise: PrototypeNoise(seed),
+	}
+	c.darkPerLane = l1.dark(1)
+	c.spanPerLane = l1.full(1) - c.darkPerLane
+	return c, nil
+}
+
+// NumLanes returns the number of wavelength lanes (the paper's
+// num_accumulation_wavelengths).
+func (c *Core) NumLanes() int { return len(c.lanes) }
+
+// Step performs one analog time step: lane i multiplies a[i]×b[i], the WDM
+// mux combines the double-modulated wavelengths, and the photodetector
+// returns a single reading proportional to Σ a[i]·b[i] (Fig 2c). The reading
+// is in code units where one lane at full scale reads 255; analog noise is
+// added once per detector readout. Unused lanes idle dark.
+func (c *Core) Step(a, b []fixed.Code) float64 {
+	if len(a) != len(b) {
+		panic("photonic: Step operand length mismatch")
+	}
+	if len(a) > len(c.lanes) {
+		panic(fmt.Sprintf("photonic: %d operands exceed %d lanes", len(a), len(c.lanes)))
+	}
+	var detected float64
+	for i := range a {
+		// The WDM mux combines the lanes and the photodetector sums all
+		// incident wavelengths; intensity addition is associative, so sum
+		// directly rather than materializing the muxed field.
+		detected += c.lanes[i].TransmitCodes(1, a[i], b[i])
+	}
+	detected = c.pd.DarkLevel + c.pd.Responsivity*detected
+	// Background-subtract the active lanes' dark level and decode to code
+	// units (Appendix A's f_PD with r_max=255 at the configured full
+	// scale). Noise enters at the detector/ADC interface, i.e. at reading
+	// scale.
+	scale := c.FullScaleLanes
+	if scale < 1 {
+		scale = 1
+	}
+	r := (detected - float64(len(a))*c.darkPerLane) / (c.spanPerLane * float64(scale)) * fixed.MaxCode
+	r += c.noise.Sample()
+	c.Steps++
+	return r
+}
+
+// Multiply performs a single photonic multiplication on lane 0 and returns
+// the analog reading in code units (digital equivalent: a·b/255).
+func (c *Core) Multiply(a, b fixed.Code) float64 {
+	return c.Step([]fixed.Code{a}, []fixed.Code{b})
+}
+
+// DotSingleWavelength computes a full dot product on one wavelength by
+// streaming the vectors through lane 0 over len(a) time steps and
+// accumulating with the integrator (Fig 2b). The result is in code units
+// (digital equivalent: Σ a_i·b_i/255), and may exceed 255: range management
+// is the digital datapath's job.
+func (c *Core) DotSingleWavelength(a, b []fixed.Code) float64 {
+	if len(a) != len(b) {
+		panic("photonic: dot product operand length mismatch")
+	}
+	var integ Integrator
+	for i := range a {
+		integ.Add(c.Step(a[i:i+1], b[i:i+1]))
+	}
+	return integ.Sum()
+}
+
+// DotPartials computes a dot product using all lanes: each analog step
+// handles NumLanes element pairs, and the per-step detector readings (the
+// partial sums the cross-cycle adder-subtractor later accumulates, §5.3) are
+// returned in order. A final short step handles the vector tail.
+func (c *Core) DotPartials(a, b []fixed.Code) []float64 {
+	if len(a) != len(b) {
+		panic("photonic: dot product operand length mismatch")
+	}
+	n := c.NumLanes()
+	var partials []float64
+	for off := 0; off < len(a); off += n {
+		end := off + n
+		if end > len(a) {
+			end = len(a)
+		}
+		partials = append(partials, c.Step(a[off:end], b[off:end]))
+	}
+	return partials
+}
+
+// Dot computes the full dot product by summing DotPartials — the behaviour
+// the combined photonic+digital pipeline produces.
+func (c *Core) Dot(a, b []fixed.Code) float64 {
+	var s float64
+	for _, p := range c.DotPartials(a, b) {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package photonic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// driftError is the mean absolute multiplication error under an ongoing
+// drift process, optionally re-locking every relockEvery operations.
+func driftError(t *testing.T, relockEvery int) float64 {
+	t.Helper()
+	c, err := NewCore(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := NewThermalDrift(0.02, 7)
+	rng := rand.New(rand.NewPCG(8, 8))
+	var sum float64
+	n := 400
+	for i := 0; i < n; i++ {
+		// Drift acts continuously on both modulators.
+		drift.Apply(c.Lanes()[0].Mod1)
+		drift.Apply(c.Lanes()[0].Mod2)
+		if relockEvery > 0 && i%relockEvery == relockEvery-1 {
+			if err := c.Relock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a := fixed.Code(rng.IntN(256))
+		b := fixed.Code(rng.IntN(256))
+		sum += math.Abs(c.Multiply(a, b) - float64(a)*float64(b)/255)
+	}
+	return sum / float64(n)
+}
+
+func TestThermalDriftControlledByRelocking(t *testing.T) {
+	unmaintained := driftError(t, 0)
+	maintained := driftError(t, 50)
+	if unmaintained < 2 {
+		t.Errorf("unmaintained drift error only %.2f codes; drift model too weak", unmaintained)
+	}
+	if maintained > unmaintained/2 {
+		t.Errorf("re-locking barely helped: %.2f vs %.2f codes", maintained, unmaintained)
+	}
+	// Between re-locks the walk still accumulates ≈σ√50 ≈ 0.14 V of phase
+	// error, worth a few codes at mid-scale; the bound reflects that.
+	if maintained > 6 {
+		t.Errorf("maintained error %.2f codes too high", maintained)
+	}
+}
+
+func TestRelockRestoresCleanCore(t *testing.T) {
+	c, err := NewCore(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := c.Multiply(200, 200)
+	// Large instantaneous drift.
+	for _, l := range c.Lanes() {
+		l.Mod1.PhaseOffset += 1.2
+		l.Mod2.PhaseOffset -= 0.9
+	}
+	drifted := c.Multiply(200, 200)
+	if math.Abs(drifted-baseline) < 5 {
+		t.Fatalf("drift had no effect: %v vs %v", drifted, baseline)
+	}
+	if err := c.Relock(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := c.Multiply(200, 200)
+	if math.Abs(recovered-baseline) > 1 {
+		t.Errorf("relock did not restore accuracy: %v vs %v", recovered, baseline)
+	}
+}
+
+func TestDriftIsRandomWalk(t *testing.T) {
+	m := NewMZModulator(0)
+	d := NewThermalDrift(0.1, 3)
+	start := m.PhaseOffset
+	for i := 0; i < 1000; i++ {
+		d.Apply(m)
+	}
+	// After 1000 steps of σ=0.1, expected |displacement| ≈ 0.1·√1000 ≈ 3.2.
+	disp := math.Abs(m.PhaseOffset - start)
+	if disp < 0.3 || disp > 15 {
+		t.Errorf("walk displacement = %.2f, implausible for σ√n ≈ 3.2", disp)
+	}
+}

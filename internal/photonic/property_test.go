@@ -1,0 +1,118 @@
+package photonic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Property tests on the analog channel's algebraic structure (noise-free):
+// these are the invariants the calibration procedure exists to guarantee.
+
+func propertyCore(t *testing.T) *Core {
+	t.Helper()
+	c, err := NewCore(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Multiplication is monotone in each operand.
+func TestMultiplyMonotone(t *testing.T) {
+	c := propertyCore(t)
+	f := func(a, b, delta uint8) bool {
+		if delta == 0 {
+			return true
+		}
+		a2 := int(a) + int(delta)
+		if a2 > 255 {
+			a2 = 255
+		}
+		lo := c.Multiply(fixed.Code(a), fixed.Code(b))
+		hi := c.Multiply(fixed.Code(a2), fixed.Code(b))
+		// Monotone within a quantization hair.
+		return hi >= lo-0.51
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multiplication commutes (up to the two modulators' independent
+// calibration residues).
+func TestMultiplyApproxCommutative(t *testing.T) {
+	c := propertyCore(t)
+	f := func(a, b uint8) bool {
+		x := c.Multiply(fixed.Code(a), fixed.Code(b))
+		y := c.Multiply(fixed.Code(b), fixed.Code(a))
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		return d < 1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The detector is additive: a two-lane step equals the sum of the two
+// single-lane steps (superposition of intensities).
+func TestStepSuperposition(t *testing.T) {
+	c := propertyCore(t)
+	// Pin the decode scale so single- and dual-lane readings share units.
+	c.FullScaleLanes = 1
+	f := func(a1, b1, a2, b2 uint8) bool {
+		both := c.Step([]fixed.Code{fixed.Code(a1), fixed.Code(a2)},
+			[]fixed.Code{fixed.Code(b1), fixed.Code(b2)})
+		one := c.Step([]fixed.Code{fixed.Code(a1)}, []fixed.Code{fixed.Code(b1)})
+		two := c.Step([]fixed.Code{fixed.Code(a2)}, []fixed.Code{fixed.Code(b2)})
+		d := both - (one + two)
+		if d < 0 {
+			d = -d
+		}
+		return d < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dot products are permutation-invariant: reordering operand pairs does not
+// change the accumulated result (beyond chunk-boundary quantization).
+func TestDotPermutationInvariant(t *testing.T) {
+	c := propertyCore(t)
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		n := len(raw) / 2
+		a := make([]fixed.Code, n)
+		b := make([]fixed.Code, n)
+		for i := 0; i < n; i++ {
+			a[i] = fixed.Code(raw[2*i])
+			b[i] = fixed.Code(raw[2*i+1])
+		}
+		fwd := c.Dot(a, b)
+		// Reverse both vectors pairwise.
+		ra := make([]fixed.Code, n)
+		rb := make([]fixed.Code, n)
+		for i := 0; i < n; i++ {
+			ra[i], rb[i] = a[n-1-i], b[n-1-i]
+		}
+		rev := c.Dot(ra, rb)
+		d := fwd - rev
+		if d < 0 {
+			d = -d
+		}
+		return d < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

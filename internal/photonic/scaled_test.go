@@ -1,0 +1,132 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+func TestTable5Algebra(t *testing.T) {
+	cases := []struct {
+		spec                                 ScaledCoreSpec
+		macs, wmods, imods, pds, wavelengths int
+	}{
+		// Table 5 rows: scalar unit, N-wavelength core, +W parallel, +B batch.
+		{ScaledCoreSpec{N: 1, W: 1, B: 1}, 1, 1, 1, 1, 1},
+		{ScaledCoreSpec{N: 4, W: 1, B: 1}, 4, 4, 4, 1, 4},
+		{ScaledCoreSpec{N: 4, W: 3, B: 1}, 12, 12, 4, 3, 4},
+		{ScaledCoreSpec{N: 4, W: 3, B: 2}, 24, 12, 8, 6, 4},
+		// Fig 25 worked example: 12 MACs per step.
+		{Fig25Spec(), 12, 6, 6, 4, 3},
+		// §8 chip: 576 MACs with 600 modulators and 24 photodetectors
+		// (Table 2's component counts).
+		{ChipSpec(), 576, 576, 24, 24, 24},
+	}
+	for _, c := range cases {
+		if got := c.spec.MACsPerStep(); got != c.macs {
+			t.Errorf("%+v MACs = %d, want %d", c.spec, got, c.macs)
+		}
+		if got := c.spec.WeightModulators(); got != c.wmods {
+			t.Errorf("%+v weight mods = %d, want %d", c.spec, got, c.wmods)
+		}
+		if got := c.spec.InputModulators(); got != c.imods {
+			t.Errorf("%+v input mods = %d, want %d", c.spec, got, c.imods)
+		}
+		if got := c.spec.Photodetectors(); got != c.pds {
+			t.Errorf("%+v photodetectors = %d, want %d", c.spec, got, c.pds)
+		}
+		if got := c.spec.DistinctWavelengths(); got != c.wavelengths {
+			t.Errorf("%+v wavelengths = %d, want %d", c.spec, got, c.wavelengths)
+		}
+	}
+}
+
+func TestChipSpecTotalModulators(t *testing.T) {
+	// Table 2 counts 600 modulators total for the 576-MAC chip.
+	if got := ChipSpec().Modulators(); got != 600 {
+		t.Errorf("chip modulators = %d, want 600", got)
+	}
+}
+
+func TestScaledCoreSpecValidate(t *testing.T) {
+	if err := (ScaledCoreSpec{N: 0, W: 1, B: 1}).Validate(); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if err := Fig25Spec().Validate(); err != nil {
+		t.Errorf("Fig25 spec rejected: %v", err)
+	}
+}
+
+func TestScaledCoreMatMul(t *testing.T) {
+	sc, err := NewScaledCore(Fig25Spec(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W=2 weight rows of length 6, B=2 inputs.
+	weights := [][]fixed.Code{
+		{10, 20, 30, 40, 50, 60},
+		{255, 0, 255, 0, 255, 0},
+	}
+	inputs := [][]fixed.Code{
+		{1, 2, 3, 4, 5, 6},
+		{100, 100, 100, 100, 100, 100},
+	}
+	got, err := sc.MatMul(weights, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range weights {
+		for b := range inputs {
+			var want float64
+			for i := range weights[w] {
+				want += float64(weights[w][i]) * float64(inputs[b][i]) / 255
+			}
+			if math.Abs(got[w][b]-want) > 6 {
+				t.Errorf("result[%d][%d] = %v, want %v", w, b, got[w][b], want)
+			}
+		}
+	}
+}
+
+func TestScaledCorePartialsShape(t *testing.T) {
+	sc, err := NewScaledCore(Fig25Spec(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := [][]fixed.Code{make([]fixed.Code, 7), make([]fixed.Code, 7)}
+	inputs := [][]fixed.Code{make([]fixed.Code, 7), make([]fixed.Code, 7)}
+	parts, err := sc.MatMulPartials(weights, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// N=3 lanes over a 7-vector → 3 steps per photodetector.
+	if len(parts) != 2 || len(parts[0]) != 2 || len(parts[0][0]) != 3 {
+		t.Errorf("partials shape = %dx%dx%d, want 2x2x3", len(parts), len(parts[0]), len(parts[0][0]))
+	}
+}
+
+func TestScaledCoreShapeErrors(t *testing.T) {
+	sc, err := NewScaledCore(ScaledCoreSpec{N: 2, W: 1, B: 1}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.MatMul([][]fixed.Code{{1}, {2}}, [][]fixed.Code{{1}}); err == nil {
+		t.Error("wrong weight row count accepted")
+	}
+	if _, err := sc.MatMul([][]fixed.Code{{1}}, [][]fixed.Code{{1}, {2}}); err == nil {
+		t.Error("wrong batch count accepted")
+	}
+	if _, err := sc.MatMul([][]fixed.Code{{1, 2}}, [][]fixed.Code{{1}}); err == nil {
+		t.Error("mismatched vector length accepted")
+	}
+	if _, err := sc.MatMul([][]fixed.Code{{1}}, [][]fixed.Code{{1, 2}}); err == nil {
+		t.Error("mismatched input length accepted")
+	}
+}
+
+func TestNewScaledCoreValidates(t *testing.T) {
+	if _, err := NewScaledCore(ScaledCoreSpec{}, nil, 1); err == nil {
+		t.Error("zero spec accepted")
+	}
+}

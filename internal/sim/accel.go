@@ -1,0 +1,110 @@
+// Package sim is Lightning's discrete-event inference-serving simulator
+// (§9): Poisson request arrivals over the seven large DNN models, a FIFO
+// queue feeding each accelerator's compute cores, per-model datapath
+// latencies (Table 6), and the serve-time and energy accounting behind
+// Figures 21 and 22. It also contains the prototype-scale latency model of
+// Fig 15 and the stop-and-go baseline of Figures 3/4/24.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/chip"
+	"github.com/lightning-smartnic/lightning/internal/model"
+)
+
+// LightningLayerLatency is the per-layer datapath latency measured from the
+// prototype (193 ns, §9).
+const LightningLayerLatency = 193 * time.Nanosecond
+
+// a100DatapathUS maps model name → the A100 Triton datapath latency of
+// Table 6 (µs).
+var a100DatapathUS = map[string]float64{
+	"alexnet":    581,
+	"resnet18":   615,
+	"vgg16":      607,
+	"vgg19":      596,
+	"bert-large": 1176,
+	"gpt2-xl":    6605,
+	"dlrm":       13210,
+}
+
+// Accelerator is one simulated serving platform.
+type Accelerator struct {
+	// Platform supplies power, MAC count and clock (Table 3).
+	Platform chip.Platform
+	// Servers is the number of independent FIFO-fed compute contexts;
+	// the paper's round-robin scheduler with a shared queue.
+	Servers int
+	// Datapath returns the per-request datapath latency for a model —
+	// the time from NIC arrival to first-layer compute (Table 6).
+	Datapath func(m *model.Model) time.Duration
+}
+
+// Compute returns the model's computation latency: total MACs over the
+// platform's sustained MAC rate.
+func (a *Accelerator) Compute(m *model.Model) time.Duration {
+	secs := float64(m.TotalMACs()) / a.Platform.MACRate()
+	return time.Duration(secs * 1e9)
+}
+
+// NewLightning returns the §8 Lightning chip as a simulated accelerator:
+// 576 photonic MACs at 97 GHz, 193 ns datapath latency per sequential layer.
+func NewLightning() *Accelerator {
+	return &Accelerator{
+		Platform: chip.LightningPlatform(),
+		Servers:  1,
+		Datapath: func(m *model.Model) time.Duration {
+			return time.Duration(m.SequentialLayers()) * LightningLayerLatency
+		},
+	}
+}
+
+// NewA100 returns the Nvidia A100 GPU server with the measured Triton
+// datapath latencies of Table 6.
+func NewA100() *Accelerator {
+	return &Accelerator{
+		Platform: chip.A100Platform(),
+		Servers:  1,
+		Datapath: func(m *model.Model) time.Duration {
+			us, ok := a100DatapathUS[m.Name]
+			if !ok {
+				us = 600 // other models: AlexNet-class Triton overhead
+			}
+			return time.Duration(us * float64(time.Microsecond))
+		},
+	}
+}
+
+// NewA100X returns the Nvidia A100X DPU. Table 6 grants it an ideal zero
+// datapath latency ("we assume an ideal scenario and use zero datapath
+// latency, even though these two devices also incur packet parsing and
+// model loading overheads").
+func NewA100X() *Accelerator {
+	return &Accelerator{
+		Platform: chip.A100XPlatform(),
+		Servers:  1,
+		Datapath: func(*model.Model) time.Duration { return 0 },
+	}
+}
+
+// NewBrainwave returns the Microsoft Brainwave smartNIC, also with Table 6's
+// ideal zero datapath latency.
+func NewBrainwave() *Accelerator {
+	return &Accelerator{
+		Platform: chip.BrainwavePlatform(),
+		Servers:  1,
+		Datapath: func(*model.Model) time.Duration { return 0 },
+	}
+}
+
+// Benchmarks returns the §9 comparison set in Fig 21 order.
+func Benchmarks() []*Accelerator {
+	return []*Accelerator{NewA100(), NewA100X(), NewBrainwave()}
+}
+
+// String names the accelerator.
+func (a *Accelerator) String() string {
+	return fmt.Sprintf("%s (%d servers)", a.Platform.Name, a.Servers)
+}

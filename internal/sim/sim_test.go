@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/model"
+	"github.com/lightning-smartnic/lightning/internal/stats"
+)
+
+func TestGenerateTrace(t *testing.T) {
+	models := model.SimulationModels()
+	tr := GenerateTrace(models, 1000, 1e5, 3)
+	if len(tr) != 1000 {
+		t.Fatalf("trace len = %d", len(tr))
+	}
+	prev := time.Duration(-1)
+	seen := map[string]int{}
+	for _, r := range tr {
+		if r.Arrival <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prev = r.Arrival
+		seen[r.Model.Name]++
+	}
+	// Uniform mix: every model appears with roughly equal frequency.
+	for name, n := range seen {
+		if n < 80 || n > 220 {
+			t.Errorf("model %s appears %d/1000 times", name, n)
+		}
+	}
+	// Mean interarrival ≈ 1/rate.
+	mean := tr[len(tr)-1].Arrival.Seconds() / float64(len(tr))
+	if math.Abs(mean-1e-5)/1e-5 > 0.15 {
+		t.Errorf("mean interarrival = %v, want ≈10µs", mean)
+	}
+}
+
+func TestComputeLatencyScalesWithMACs(t *testing.T) {
+	l := NewLightning()
+	small := l.Compute(model.AlexNet())
+	big := l.Compute(model.GPT2XL())
+	if big <= small {
+		t.Error("GPT-2 should out-compute AlexNet")
+	}
+	// AlexNet: 1.135G MACs / 55.9T MAC/s ≈ 20µs.
+	want := float64(model.AlexNet().TotalMACs()) / l.Platform.MACRate()
+	if math.Abs(small.Seconds()-want) > 1e-9 {
+		t.Errorf("compute = %v, want %v s", small, want)
+	}
+}
+
+func TestDatapathLatencies(t *testing.T) {
+	alex := model.AlexNet()
+	if d := NewLightning().Datapath(alex); d != 8*193*time.Nanosecond {
+		t.Errorf("Lightning datapath = %v", d)
+	}
+	if d := NewA100().Datapath(alex); d != 581*time.Microsecond {
+		t.Errorf("A100 datapath = %v", d)
+	}
+	if d := NewA100X().Datapath(alex); d != 0 {
+		t.Errorf("A100X datapath = %v", d)
+	}
+	if d := NewBrainwave().Datapath(alex); d != 0 {
+		t.Errorf("Brainwave datapath = %v", d)
+	}
+	// Unknown model falls back to a default.
+	if d := NewA100().Datapath(model.LeNet300100()); d <= 0 {
+		t.Error("fallback datapath missing")
+	}
+}
+
+func TestRunFIFOQueueing(t *testing.T) {
+	// Deterministic 2-request scenario: second request arrives while the
+	// first still computes and must wait exactly the residual.
+	a := NewBrainwave() // zero datapath keeps arithmetic simple
+	m := model.AlexNet()
+	c := a.Compute(m)
+	tr := Trace{
+		{Model: m, Arrival: 0},
+		{Model: m, Arrival: c / 2},
+	}
+	served := Run(a, tr)
+	if served[0].Queue != 0 {
+		t.Errorf("first request queued %v", served[0].Queue)
+	}
+	if served[1].Queue != c-c/2 {
+		t.Errorf("second request queued %v, want %v", served[1].Queue, c-c/2)
+	}
+	if served[1].ServeTime() != served[1].Queue+c {
+		t.Error("serve time mismatch")
+	}
+}
+
+func TestRunMultipleServers(t *testing.T) {
+	a := NewBrainwave()
+	a.Servers = 2
+	m := model.AlexNet()
+	tr := Trace{
+		{Model: m, Arrival: 0},
+		{Model: m, Arrival: 0},
+		{Model: m, Arrival: 0},
+	}
+	served := Run(a, tr)
+	if served[0].Queue != 0 || served[1].Queue != 0 {
+		t.Error("two servers should absorb two simultaneous requests")
+	}
+	if served[2].Queue != a.Compute(m) {
+		t.Errorf("third request queued %v, want %v", served[2].Queue, a.Compute(m))
+	}
+}
+
+func TestUtilizationCalibration(t *testing.T) {
+	models := model.SimulationModels()
+	a := NewA100()
+	rate := RateForUtilization(a, models, 0.9)
+	tr := GenerateTrace(models, 5000, rate, 7)
+	served := Run(a, tr)
+	// Busy time / span ≈ 0.9.
+	var busy time.Duration
+	for _, s := range served {
+		busy += s.Compute
+	}
+	span := tr[len(tr)-1].Arrival
+	util := busy.Seconds() / span.Seconds()
+	if util < 0.8 || util > 1.05 {
+		t.Errorf("achieved utilization = %.2f, want ≈0.9", util)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	l := NewLightning()
+	s := Served{
+		Datapath: time.Microsecond,
+		Queue:    time.Millisecond,
+		Compute:  10 * time.Microsecond,
+	}
+	got := s.EnergyJoules(l)
+	want := 1e-3*DRAMPowerW + 11e-6*l.Platform.PowerW
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Lightning energy = %v, want %v", got, want)
+	}
+	g := NewA100()
+	gotG := s.EnergyJoules(g)
+	wantG := 1e-3*DRAMPowerW + 10e-6*g.Platform.PowerW + 1e-6*NICPowerW
+	if math.Abs(gotG-wantG)/wantG > 1e-9 {
+		t.Errorf("A100 energy = %v, want %v", gotG, wantG)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := NewBrainwave()
+	m1, m2 := model.AlexNet(), model.DLRM()
+	served := []Served{
+		{Model: m1, Compute: time.Millisecond},
+		{Model: m1, Compute: 3 * time.Millisecond},
+		{Model: m2, Compute: time.Microsecond},
+	}
+	stats := Aggregate(a, served)
+	if len(stats) != 2 {
+		t.Fatalf("groups = %d", len(stats))
+	}
+	if stats[0].Model.Name != "alexnet" || stats[0].Requests != 2 {
+		t.Errorf("group 0 = %+v", stats[0])
+	}
+	if stats[0].MeanServe != 2*time.Millisecond {
+		t.Errorf("mean serve = %v", stats[0].MeanServe)
+	}
+}
+
+func TestCompareFig21Fig22Shape(t *testing.T) {
+	cfg := DefaultCompareConfig()
+	cfg.Requests = 800
+	cfg.Traces = 3
+	cs, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 7*3 {
+		t.Fatalf("comparisons = %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.Speedup <= 1 {
+			t.Errorf("%s vs %s: speedup %.2f ≤ 1", c.Model, c.Baseline, c.Speedup)
+		}
+		if c.EnergySavings <= 1 {
+			t.Errorf("%s vs %s: energy savings %.2f ≤ 1", c.Model, c.Baseline, c.EnergySavings)
+		}
+	}
+	avg := AverageByBaseline(cs)
+	// Fig 21/22's ordering: the GPUs trail Lightning by orders of
+	// magnitude; Brainwave is the closest competitor.
+	if avg["A100"][0] < 30 || avg["A100X"][0] < 30 {
+		t.Errorf("GPU speedups too small: %v", avg)
+	}
+	if avg["Brainwave"][0] >= avg["A100"][0] {
+		t.Errorf("Brainwave should be the closest competitor: %v", avg)
+	}
+	if avg["Brainwave"][0] < 2 {
+		t.Errorf("Brainwave speedup = %.1f, want > 2", avg["Brainwave"][0])
+	}
+	// Energy savings track the same ordering.
+	if avg["A100"][1] < avg["Brainwave"][1] {
+		t.Errorf("energy ordering wrong: %v", avg)
+	}
+}
+
+func TestCompareRejectsEmptyModels(t *testing.T) {
+	if _, err := Compare(CompareConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestFig15Ratios(t *testing.T) {
+	rows := Fig15()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig15Row{}
+	for _, r := range rows {
+		byName[r.Model.Name] = r
+	}
+	// §6.3's headline ratios: security ≈499× (P4) / 379× (A100); LeNet
+	// ≈9.4× / 6.6×. Shape tolerance: right order of magnitude.
+	sec := byName["security"]
+	if s := sec.SpeedupP4(); s < 200 || s > 900 {
+		t.Errorf("security P4 speedup = %.0f, want ≈499", s)
+	}
+	if s := sec.SpeedupA100(); s < 150 || s > 700 {
+		t.Errorf("security A100 speedup = %.0f, want ≈379", s)
+	}
+	lenet := byName["lenet-300-100"]
+	if s := lenet.SpeedupP4(); s < 5 || s > 20 {
+		t.Errorf("lenet P4 speedup = %.1f, want ≈9.4", s)
+	}
+	if s := lenet.SpeedupA100(); s < 3 || s > 14 {
+		t.Errorf("lenet A100 speedup = %.1f, want ≈6.6", s)
+	}
+	// Fig 15c: Lightning's datapath latency is flat across models while
+	// Fig 15b compute grows with model size.
+	if sec.Lightning.Datapath != lenet.Lightning.Datapath {
+		t.Error("Lightning datapath latency should be model-independent (same count-action set)")
+	}
+	if lenet.Lightning.Compute <= sec.Lightning.Compute {
+		t.Error("LeNet compute should exceed security model compute")
+	}
+}
+
+func TestStopAndGoFiveOrdersOfMagnitude(t *testing.T) {
+	res := Fig4(model.LeNet300100(), 100, 5)
+	if len(res.StateOfTheArtMS) != 100 || len(res.LightningMS) != 100 {
+		t.Fatal("sample counts wrong")
+	}
+	soaMedian := stats.NewCDF(res.StateOfTheArtMS).Median()
+	lightMedian := stats.NewCDF(res.LightningMS).Median()
+	ratio := soaMedian / lightMedian
+	if ratio < 1e4 || ratio > 1e7 {
+		t.Errorf("stop-and-go / Lightning = %.2g, want ≈1e5", ratio)
+	}
+	// Lightning's LeNet latency is ≈33 µs.
+	if lightMedian < 0.02 || lightMedian > 0.1 {
+		t.Errorf("Lightning median = %.3f ms, want ≈0.033", lightMedian)
+	}
+}
+
+func TestStopAndGoSkipsZeroMACLayers(t *testing.T) {
+	cfg := DefaultStopAndGo()
+	rng := rand.New(rand.NewPCG(1, 1))
+	d := cfg.InferenceLatency(model.DLRM(), rng)
+	// DLRM has 6 MAC layers; embedding/interaction layers add nothing.
+	perLayerMin := cfg.SoftwarePrep + cfg.AWGArm + cfg.DigitizerRead + cfg.PostProcess
+	if d < 6*perLayerMin {
+		t.Errorf("latency %v below 6-layer floor", d)
+	}
+	if d > 6*3*perLayerMin {
+		t.Errorf("latency %v above jitter ceiling", d)
+	}
+}
+
+func TestUtilizationSweepAmplifiesAdvantage(t *testing.T) {
+	models := model.SimulationModels()
+	pts := UtilizationSweep(NewA100(), models, []float64{0.5, 0.9, 0.99}, 3000, 11)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Queueing at the saturated baseline amplifies the speedup
+	// monotonically with load.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup() <= pts[i-1].Speedup() {
+			t.Errorf("speedup not increasing with load: %.1f at %.2f vs %.1f at %.2f",
+				pts[i].Speedup(), pts[i].Utilization, pts[i-1].Speedup(), pts[i-1].Utilization)
+		}
+	}
+	// Even lightly loaded, Lightning is ahead (datapath + compute rate).
+	if pts[0].Speedup() < 2 {
+		t.Errorf("low-load speedup = %.1f", pts[0].Speedup())
+	}
+	// Lightning's serve time stays flat while the baseline's explodes.
+	if pts[2].LightningServe > 2*pts[0].LightningServe {
+		t.Error("Lightning serve time should be insensitive to this load range")
+	}
+	if pts[2].BaselineServe < 5*pts[0].BaselineServe {
+		t.Error("baseline serve time should blow up near saturation")
+	}
+}
+
+func TestAcceleratorString(t *testing.T) {
+	if NewLightning().String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/model"
+)
+
+// Task-level scheduling. §9: "we decompose each DNN inference request into a
+// series of layer-wise vector dot product tasks according to the DNN model's
+// computation DAG. We then map these tasks to photonic vector dot product
+// cores ... using a round-robin scheduler with a First-In-First-Out (FIFO)
+// queue." RunTasks implements that decomposition: a request's layers execute
+// sequentially (DAG dependency) but each layer task can land on a different
+// core, and cores interleave tasks from different requests.
+
+// layerTime returns one layer's computation latency on the platform.
+func (a *Accelerator) layerTime(l model.Layer) time.Duration {
+	macs := l.MACs()
+	if macs == 0 {
+		return 0
+	}
+	return time.Duration(float64(macs) / a.Platform.MACRate() * 1e9)
+}
+
+// taskEvent orders pending layer completions.
+type taskEvent struct {
+	at      time.Duration
+	reqIdx  int
+	nextLay int
+	core    int
+}
+
+type eventHeap []taskEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(taskEvent)) }
+func (h *eventHeap) Pop() any          { o := *h; n := len(o); v := o[n-1]; *h = o[:n-1]; return v }
+
+// RunTasks simulates layer-task scheduling over the accelerator's cores:
+// requests pass the datapath stage, enter a FIFO of ready layer tasks, and a
+// round-robin arbiter assigns tasks to free cores. A layer becomes ready
+// when its predecessor completes. Serve time per request spans arrival to
+// final-layer completion.
+func RunTasks(a *Accelerator, tr Trace) []Served {
+	cores := a.Servers
+	if cores < 1 {
+		cores = 1
+	}
+	type reqState struct {
+		ready    time.Duration // when the next layer may start
+		layer    int
+		finished bool
+	}
+	out := make([]Served, len(tr))
+	states := make([]reqState, len(tr))
+	coreFree := make([]time.Duration, cores)
+	rr := 0
+
+	// Ready FIFO of request indices whose next layer awaits a core.
+	var fifo []int
+	var events eventHeap
+	heap.Init(&events)
+
+	arrivalIdx := 0
+	now := time.Duration(0)
+	pendingArrival := func() (time.Duration, bool) {
+		if arrivalIdx >= len(tr) {
+			return 0, false
+		}
+		return tr[arrivalIdx].Arrival + a.Datapath(tr[arrivalIdx].Model), true
+	}
+
+	dispatch := func() {
+		for len(fifo) > 0 {
+			// Round-robin over cores: pick the next core in rotation
+			// that is free at `now`; if none are free, stop.
+			assigned := -1
+			for i := 0; i < cores; i++ {
+				c := (rr + i) % cores
+				if coreFree[c] <= now {
+					assigned = c
+					break
+				}
+			}
+			if assigned < 0 {
+				return
+			}
+			rr = (assigned + 1) % cores
+			reqIdx := fifo[0]
+			fifo = fifo[1:]
+			st := &states[reqIdx]
+			m := tr[reqIdx].Model
+			d := a.layerTime(m.Layers[st.layer])
+			// Queue time accumulates while the task waited for a core.
+			out[reqIdx].Queue += now - st.ready
+			out[reqIdx].Compute += d
+			coreFree[assigned] = now + d
+			heap.Push(&events, taskEvent{at: now + d, reqIdx: reqIdx, nextLay: st.layer + 1, core: assigned})
+		}
+	}
+
+	for {
+		// Advance to the next event: an arrival or a layer completion.
+		arrAt, haveArr := pendingArrival()
+		haveEvt := events.Len() > 0
+		switch {
+		case !haveArr && !haveEvt && len(fifo) == 0:
+			return out
+		case len(fifo) > 0:
+			// Tasks are waiting: time must advance to the earliest core
+			// availability or event, whichever unblocks first.
+			next := time.Duration(1<<62 - 1)
+			for _, f := range coreFree {
+				if f > now && f < next {
+					next = f
+				}
+			}
+			if haveEvt && events[0].at < next {
+				next = events[0].at
+			}
+			if haveArr && arrAt < next {
+				next = arrAt
+			}
+			now = next
+		case haveEvt && (!haveArr || events[0].at <= arrAt):
+			now = events[0].at
+		default:
+			now = arrAt
+		}
+
+		// Process arrivals at or before now.
+		for {
+			arrAt, ok := pendingArrival()
+			if !ok || arrAt > now {
+				break
+			}
+			m := tr[arrivalIdx].Model
+			out[arrivalIdx] = Served{Model: m, Datapath: a.Datapath(m)}
+			states[arrivalIdx] = reqState{ready: arrAt}
+			fifo = append(fifo, arrivalIdx)
+			arrivalIdx++
+		}
+		// Process completions at or before now.
+		for events.Len() > 0 && events[0].at <= now {
+			ev := heap.Pop(&events).(taskEvent)
+			st := &states[ev.reqIdx]
+			st.layer = ev.nextLay
+			st.ready = ev.at
+			if st.layer >= len(tr[ev.reqIdx].Model.Layers) {
+				st.finished = true
+				continue
+			}
+			fifo = append(fifo, ev.reqIdx)
+		}
+		dispatch()
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/model"
+)
+
+func TestRunTasksSingleRequestMatchesRun(t *testing.T) {
+	// With one core and one request, task-level and request-level
+	// simulation agree on compute time (sum of MAC layers) and zero queue.
+	a := NewBrainwave()
+	m := model.AlexNet()
+	tr := Trace{{Model: m, Arrival: 0}}
+	byTask := RunTasks(a, tr)
+	byReq := Run(a, tr)
+	if byTask[0].Queue != 0 {
+		t.Errorf("queue = %v", byTask[0].Queue)
+	}
+	dt := byTask[0].Compute - byReq[0].Compute
+	if dt < -time.Microsecond || dt > time.Microsecond {
+		t.Errorf("task compute %v != request compute %v", byTask[0].Compute, byReq[0].Compute)
+	}
+}
+
+func TestRunTasksSequentialDependency(t *testing.T) {
+	// A single request on many cores gains nothing: its layers are
+	// sequentially dependent.
+	a := NewBrainwave()
+	a.Servers = 8
+	m := model.VGG16()
+	tr := Trace{{Model: m, Arrival: 0}}
+	served := RunTasks(a, tr)
+	single := NewBrainwave()
+	want := single.Compute(m)
+	dt := served[0].Compute - want
+	if dt < -time.Microsecond || dt > time.Microsecond {
+		t.Errorf("8-core single request compute %v, want %v (no intra-request speedup)", served[0].Compute, want)
+	}
+}
+
+func TestRunTasksParallelismHelpsConcurrentRequests(t *testing.T) {
+	// Two simultaneous requests on two cores finish in about the time of
+	// one; on one core, the second waits.
+	m := model.AlexNet()
+	tr := Trace{{Model: m, Arrival: 0}, {Model: m, Arrival: 0}}
+
+	one := NewBrainwave()
+	servedOne := RunTasks(one, tr)
+	two := NewBrainwave()
+	two.Servers = 2
+	servedTwo := RunTasks(two, tr)
+
+	if servedTwo[1].Queue >= servedOne[1].Queue {
+		t.Errorf("2-core queueing (%v) not better than 1-core (%v)",
+			servedTwo[1].Queue, servedOne[1].Queue)
+	}
+	if servedTwo[1].Queue > time.Microsecond {
+		t.Errorf("2 cores, 2 requests: queue = %v, want ≈0", servedTwo[1].Queue)
+	}
+	// Conservation: both requests compute the same total work.
+	if servedTwo[0].Compute != servedOne[0].Compute {
+		t.Error("compute time changed with core count")
+	}
+}
+
+func TestRunTasksInterleavingKeepsCoresBusy(t *testing.T) {
+	// Many requests on 4 cores: total span approaches total work / 4.
+	a := NewBrainwave()
+	a.Servers = 4
+	m := model.AlexNet()
+	n := 16
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Request{Model: m, Arrival: 0}
+	}
+	served := RunTasks(a, tr)
+	var worst time.Duration
+	for _, s := range served {
+		if st := s.ServeTime(); st > worst {
+			worst = st
+		}
+	}
+	perReq := NewBrainwave().Compute(m)
+	ideal := perReq * time.Duration(n) / 4
+	if worst > ideal+perReq {
+		t.Errorf("makespan %v exceeds ideal %v + one request", worst, ideal)
+	}
+	if worst < ideal-perReq {
+		t.Errorf("makespan %v impossibly below ideal %v", worst, ideal)
+	}
+}
+
+func TestRunTasksPoissonLoadConsistency(t *testing.T) {
+	// Under a moderate Poisson load, task-level serve times stay within a
+	// factor of the request-level model (they differ by interleaving, not
+	// by orders of magnitude).
+	a := NewA100()
+	models := model.SimulationModels()
+	rate := RateForUtilization(a, models, 0.7)
+	tr := GenerateTrace(models, 500, rate, 5)
+	taskServed := RunTasks(NewA100(), tr)
+	reqServed := Run(NewA100(), tr)
+	var taskMean, reqMean float64
+	for i := range tr {
+		taskMean += taskServed[i].ServeTime().Seconds()
+		reqMean += reqServed[i].ServeTime().Seconds()
+	}
+	ratio := taskMean / reqMean
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("task-level/request-level mean serve ratio = %.2f", ratio)
+	}
+}
+
+func TestCompareTaskLevelAgreesOnShape(t *testing.T) {
+	cfg := DefaultCompareConfig()
+	cfg.Requests = 400
+	cfg.Traces = 2
+	cfg.TaskLevel = true
+	cs, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := AverageByBaseline(cs)
+	// The task-level scheduler preserves the headline ordering.
+	if avg["A100"][0] < 20 || avg["Brainwave"][0] < 2 {
+		t.Errorf("task-level averages implausible: %v", avg)
+	}
+	if avg["Brainwave"][0] >= avg["A100"][0] {
+		t.Errorf("task-level ordering broken: %v", avg)
+	}
+}
+
+func TestRunTasksZeroMACLayers(t *testing.T) {
+	// DLRM's embedding/interaction layers carry no MACs; the scheduler
+	// must pass through them without stalling.
+	a := NewLightning()
+	tr := Trace{{Model: model.DLRM(), Arrival: 0}}
+	served := RunTasks(a, tr)
+	if served[0].Compute <= 0 {
+		t.Errorf("DLRM compute = %v", served[0].Compute)
+	}
+	want := a.Compute(model.DLRM())
+	dt := served[0].Compute - want
+	if dt < -time.Microsecond || dt > time.Microsecond {
+		t.Errorf("compute %v != %v", served[0].Compute, want)
+	}
+}

@@ -1,0 +1,283 @@
+// Package lightning is the public API of the Lightning reproduction: a
+// reconfigurable photonic-electronic smartNIC for fast and energy-efficient
+// inference (SIGCOMM 2023).
+//
+// The package wires the full receive-to-respond pipeline of Fig 5 together:
+// packets enter the parser, the DAG configuration loader reprograms the
+// count-action datapath for the requested model, operands stream through
+// DACs into the photonic vector dot-product core, results return through
+// preamble detection, the sign-reassembling adders and the non-linear units,
+// and a response packet leaves the NIC.
+//
+// Construct a NIC, register quantized models under wire model IDs, then
+// either hand it raw Ethernet frames (HandleFrame), wire messages
+// (HandleMessage), or attach it to a UDP socket (ServeUDP) and query it with
+// a Client.
+package lightning
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/dagloader"
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/nic"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+	"github.com/lightning-smartnic/lightning/internal/pcap"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// Re-exported wire types so callers need only this package.
+type (
+	// Code is an unsigned 8-bit datapath sample.
+	Code = fixed.Code
+	// Message is a Lightning wire request/response.
+	Message = nic.Message
+	// Response is a decoded inference response.
+	Response = nic.Response
+	// Verdict classifies a parsed frame.
+	Verdict = nic.Verdict
+)
+
+// Parser verdicts, re-exported.
+const (
+	VerdictInference = nic.VerdictInference
+	VerdictForward   = nic.VerdictForward
+	VerdictDrop      = nic.VerdictDrop
+)
+
+// InferencePort is the UDP port inference queries arrive on.
+const InferencePort = nic.InferencePort
+
+// Config parameterizes a NIC.
+type Config struct {
+	// Lanes is the photonic core's wavelength count (the prototype
+	// uses 2).
+	Lanes int
+	// Noiseless disables the calibrated analog noise model (useful for
+	// bit-exact tests; real silicon is noisy).
+	Noiseless bool
+	// Seed drives every stochastic element (noise, ADC phase, DRAM
+	// jitter) for reproducible runs.
+	Seed uint64
+}
+
+// DefaultConfig matches the §6 prototype.
+func DefaultConfig() Config { return Config{Lanes: 2, Seed: 1} }
+
+// NIC is a Lightning smartNIC instance.
+type NIC struct {
+	mu sync.Mutex
+
+	parser     *nic.Parser
+	loader     *dagloader.Loader
+	link       *nic.Link
+	reassembly *nic.Reassembler
+	tap        *pcap.Writer
+
+	// Served counts completed inference responses.
+	Served uint64
+
+	// totals aggregates datapath cycle accounting across served queries.
+	totals datapath.LayerStats
+}
+
+// Metrics is an operational snapshot of the NIC, the counters a deployment
+// would scrape.
+type Metrics struct {
+	// Served counts completed inference responses.
+	Served uint64
+	// Parser holds frame classification counters.
+	Parser nic.ParserStats
+	// Reconfigurations counts count-action register reprogrammings.
+	Reconfigurations uint64
+	// PhotonicSteps, ComputeCycles and DatapathCycles aggregate the
+	// datapath cycle accounting across all served queries.
+	PhotonicSteps, ComputeCycles, DatapathCycles uint64
+	// PreambleMisses counts exception-path fallbacks.
+	PreambleMisses uint64
+	// DRAMReads and DRAMReadBytes count weight-store traffic.
+	DRAMReads, DRAMReadBytes uint64
+	// TxFrames and TxBytes count link-side responses.
+	TxFrames, TxBytes uint64
+	// PendingReassembly is the in-flight fragmented query count;
+	// ReassemblyDrops counts discarded partial queries.
+	PendingReassembly int
+	ReassemblyDrops   uint64
+}
+
+// Metrics returns a consistent snapshot.
+func (n *NIC) Metrics() Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Metrics{
+		Served:            n.Served,
+		Parser:            n.parser.Stats,
+		Reconfigurations:  n.loader.Reconfigurations,
+		PhotonicSteps:     n.totals.PhotonicSteps,
+		ComputeCycles:     n.totals.ComputeCycles,
+		DatapathCycles:    n.totals.DatapathCycles,
+		PreambleMisses:    n.totals.PreambleMisses,
+		DRAMReads:         n.loader.DRAM.Reads,
+		DRAMReadBytes:     n.loader.DRAM.ReadBytes,
+		TxFrames:          n.link.TxFrames,
+		TxBytes:           n.link.TxBytes,
+		PendingReassembly: n.reassembly.Pending(),
+		ReassemblyDrops:   n.reassembly.Drops,
+	}
+}
+
+// Tap attaches a pcap capture to the frame path: every frame offered to
+// HandleFrame and every response frame it emits is recorded. Pass nil to
+// detach.
+func (n *NIC) Tap(w io.Writer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if w == nil {
+		n.tap = nil
+		return
+	}
+	n.tap = pcap.NewWriter(w)
+}
+
+func (n *NIC) capture(frame []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tap != nil {
+		// Capture failures must never affect the datapath.
+		_ = n.tap.WritePacket(time.Now(), frame)
+	}
+}
+
+// New builds a NIC: calibrated photonic core, datapath engine, DDR4 weight
+// store, packet parser with flow tracking and intrusion detection.
+func New(cfg Config) (*NIC, error) {
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 2
+	}
+	var noise *photonic.NoiseModel
+	if !cfg.Noiseless {
+		noise = photonic.CalibratedNoise(cfg.Seed)
+	}
+	core, err := photonic.NewCore(cfg.Lanes, noise)
+	if err != nil {
+		return nil, fmt.Errorf("lightning: building photonic core: %w", err)
+	}
+	engine := datapath.NewEngine(core, cfg.Seed+1)
+	dram := mem.New(mem.DDR4Spec(), cfg.Seed+2)
+	return &NIC{
+		parser:     nic.NewParser(),
+		loader:     dagloader.NewLoader(engine, dram),
+		link:       nic.NewLink(),
+		reassembly: nic.NewReassembler(256),
+	}, nil
+}
+
+// TrainedModel is a classifier ready for registration: train one with
+// Train or quantize your own nn.Network.
+type TrainedModel = nn.QuantizedNetwork
+
+// RegisterModel makes a quantized classifier servable under a wire model ID.
+func (n *NIC) RegisterModel(id uint16, name string, q *TrainedModel) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loader.RegisterModel(id, name, q)
+}
+
+// UpdateModel atomically replaces a registered model's parameters — the
+// §6.1 PCIe update path. Queries in flight complete against the old
+// version; subsequent queries use the new one.
+func (n *NIC) UpdateModel(id uint16, q *TrainedModel) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loader.UpdateModel(id, q)
+}
+
+// HandleMessage serves one inference query (already parsed from the wire)
+// through the photonic datapath and returns the response. Fragmented
+// queries (large vision inputs, §4/Table 6) accumulate in the packet
+// assembler; non-final fragments return (nil, nil).
+func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
+	if msg.IsResponse() {
+		return nil, fmt.Errorf("lightning: received a response message")
+	}
+	n.mu.Lock()
+	query, modelID, done, err := n.reassembly.Offer(msg)
+	n.mu.Unlock()
+	if err != nil {
+		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
+	}
+	if !done {
+		return nil, nil
+	}
+	input := make([]Code, len(query))
+	for i, b := range query {
+		input[i] = Code(b)
+	}
+	msg = &Message{Flags: msg.Flags, RequestID: msg.RequestID, ModelID: modelID, Payload: query}
+	n.mu.Lock()
+	res, err := n.loader.Serve(msg.ModelID, input)
+	if err == nil {
+		n.Served++
+		n.totals.Add(res.Stats)
+	}
+	n.mu.Unlock()
+	if err != nil {
+		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
+	}
+	probs := make([]uint8, len(res.Probs))
+	for i, p := range res.Probs {
+		probs[i] = uint8(p)
+	}
+	return &Response{
+		RequestID: msg.RequestID,
+		ModelID:   msg.ModelID,
+		Class:     uint16(res.Class),
+		Probs:     probs,
+	}, nil
+}
+
+// HandleFrame processes one raw Ethernet frame exactly as the datapath
+// would: parse, classify, and — for inference queries — serve and return the
+// response frame (source/destination reversed). Forwarded frames return
+// (nil, VerdictForward, nil): they go to the host over PCIe.
+func (n *NIC) HandleFrame(frame []byte) ([]byte, Verdict, error) {
+	n.capture(frame)
+	parsed := n.parser.Parse(frame)
+	if parsed.Verdict != nic.VerdictInference {
+		return nil, parsed.Verdict, nil
+	}
+	resp, err := n.HandleMessage(&parsed.Msg)
+	if err != nil {
+		return nil, nic.VerdictDrop, err
+	}
+	if resp == nil {
+		// A non-final fragment: absorbed by the packet assembler, no
+		// response yet.
+		return nil, nic.VerdictInference, nil
+	}
+	// Assemble the response frame back toward the requester.
+	var eth nic.Ethernet
+	if derr := eth.DecodeFromBytes(frame); derr != nil {
+		return nil, nic.VerdictDrop, derr
+	}
+	out, err := nic.BuildQueryFrame(
+		nic.Ethernet{Dst: eth.Src, Src: eth.Dst},
+		nic.IPv4{Src: parsed.Flow.Dst, Dst: parsed.Flow.Src, TTL: 64},
+		nic.InferencePort,
+		resp.ToMessage(),
+	)
+	if err != nil {
+		return nil, nic.VerdictDrop, err
+	}
+	n.link.Transmit(len(out))
+	n.capture(out)
+	return out, nic.VerdictInference, nil
+}
+
+// Stats exposes parser counters for monitoring.
+func (n *NIC) Stats() nic.ParserStats { return n.parser.Stats }

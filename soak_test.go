@@ -1,0 +1,124 @@
+package lightning
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+)
+
+// TestSoakMixedModelsOverUDP is the endurance integration test: three
+// models registered on one NIC, four concurrent clients firing interleaved
+// queries (including queries for a model that doesn't exist), served by the
+// worker pool — zero errors tolerated on valid queries, error responses
+// required on invalid ones, and metrics must reconcile at the end.
+func TestSoakMixedModelsOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type task struct {
+		id   uint16
+		set  *Dataset
+		test *Dataset
+	}
+	var tasks []task
+	for i, mk := range []struct {
+		id     uint16
+		set    *Dataset
+		hidden []int
+	}{
+		{1, AnomalyDataset(800, 51), []int{16, 8}},
+		{2, IoTTrafficDataset(800, 52), []int{16, 8}},
+		{3, DigitsDataset(1200, 53), []int{32, 16}},
+	} {
+		train, test := mk.set.Split(0.8)
+		q, _, _, err := Train(train, TrainOptions{Hidden: mk.hidden, Epochs: 10, Seed: uint64(60 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterModel(mk.id, "soak", q); err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task{id: mk.id, set: train, test: test})
+	}
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- n.ServeUDPWorkers(ctx, pc, 4) }()
+
+	const clients = 4
+	const perClient = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := Dial(pc.LocalAddr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < perClient; i++ {
+				tk := tasks[(c+i)%len(tasks)]
+				ex := tk.test.Examples[i%len(tk.test.Examples)]
+				resp, _, err := client.Infer(tk.id, ex.X)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.Err {
+					errCh <- context.Canceled
+					return
+				}
+				// Every tenth query targets an unregistered model and
+				// must come back flagged, not dropped.
+				if i%10 == 9 {
+					bad, _, err := client.Infer(99, ex.X)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !bad.Err {
+						errCh <- context.DeadlineExceeded
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("soak client failed: %v", err)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	m := n.Metrics()
+	if m.Served != clients*perClient {
+		t.Errorf("Served = %d, want %d", m.Served, clients*perClient)
+	}
+	if m.PendingReassembly != 0 {
+		t.Errorf("reassembly leak: %d pending", m.PendingReassembly)
+	}
+	if m.PreambleMisses > m.PhotonicSteps/100 {
+		t.Errorf("preamble misses %d of %d steps", m.PreambleMisses, m.PhotonicSteps)
+	}
+	if m.Reconfigurations == 0 || m.DRAMReads == 0 {
+		t.Errorf("metrics not accounting: %+v", m)
+	}
+}

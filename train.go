@@ -1,0 +1,67 @@
+package lightning
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lightning-smartnic/lightning/internal/dataset"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+)
+
+// Dataset is a labelled 8-bit feature dataset (synthetic stand-ins for the
+// paper's MNIST / UNSW-NB15 / IoT traces; see DESIGN.md).
+type Dataset = dataset.Set
+
+// DigitsDataset generates the 10-class digit-glyph task (MNIST stand-in).
+func DigitsDataset(n int, seed uint64) *Dataset { return dataset.Digits(n, seed) }
+
+// AnomalyDataset generates the 2-class network-anomaly task (UNSW-NB15
+// stand-in) for the §6.3 security model.
+func AnomalyDataset(n int, seed uint64) *Dataset { return dataset.Anomaly(n, seed) }
+
+// IoTTrafficDataset generates the 10-class IoT traffic-classification task.
+func IoTTrafficDataset(n int, seed uint64) *Dataset { return dataset.IoTTraffic(n, seed) }
+
+// TrainOptions controls classifier training.
+type TrainOptions struct {
+	// Hidden lists hidden-layer widths (e.g. 300, 100 for LeNet-300-100).
+	Hidden []int
+	Epochs int
+	Seed   uint64
+}
+
+// Train fits a dense classifier to a dataset with SGD, calibrates its 8-bit
+// quantization on the training data, and returns the datapath-ready model.
+// It also returns the float and quantized top-1 accuracies on the training
+// set for quick sanity checks.
+func Train(train *Dataset, opts TrainOptions) (*TrainedModel, float64, float64, error) {
+	if len(train.Examples) == 0 {
+		return nil, 0, 0, fmt.Errorf("lightning: empty training set")
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 25
+	}
+	sizes := append([]int{train.Width}, opts.Hidden...)
+	sizes = append(sizes, train.Classes)
+	net := nn.New(opts.Seed+1, sizes...)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = opts.Epochs
+	cfg.Seed = opts.Seed + 2
+	net.Train(train, cfg)
+	q := nn.Quantize(net, train)
+	return q, net.Accuracy(train), q.Accuracy(train), nil
+}
+
+// Evaluate returns a quantized model's top-1 accuracy on a dataset under
+// the 8-bit digital reference (the GPU comparator of §6.3).
+func Evaluate(m *TrainedModel, set *Dataset) float64 { return m.Accuracy(set) }
+
+// SaveModel writes a trained model in the compact binary format the PCIe
+// update path ships.
+func SaveModel(w io.Writer, m *TrainedModel) error {
+	_, err := m.WriteTo(w)
+	return err
+}
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*TrainedModel, error) { return nn.ReadQuantized(r) }

@@ -1,0 +1,192 @@
+package lightning
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// ServeUDP attaches the NIC to a UDP socket and serves Lightning wire
+// messages until the context is cancelled (requirement R1: live user
+// traffic from remote users). Each datagram carries one wire message; the
+// response returns to the sender's address. Malformed datagrams are dropped
+// silently, as the datapath parser would.
+func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
+	buf := make([]byte, 65536)
+	for {
+		if err := pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+			return err
+		}
+		sz, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				select {
+				case <-ctx.Done():
+					return nil
+				default:
+					continue
+				}
+			}
+			return err
+		}
+		var msg Message
+		if derr := msg.Decode(buf[:sz]); derr != nil {
+			continue
+		}
+		resp, herr := n.HandleMessage(&msg)
+		if resp == nil {
+			continue
+		}
+		_ = herr // the error flag rides in the response
+		out, eerr := resp.ToMessage().Encode()
+		if eerr != nil {
+			continue
+		}
+		if _, werr := pc.WriteTo(out, addr); werr != nil {
+			return werr
+		}
+	}
+}
+
+// ServeUDPWorkers is ServeUDP with a worker pool: one reader goroutine
+// feeds decoded messages to workers that run the datapath and write
+// responses. The photonic datapath itself is a single shared resource (one
+// core, one set of control registers) so inference serializes on the NIC's
+// internal lock — exactly as the hardware pipeline serializes at the
+// photonic core — but packet decode, reassembly bookkeeping and response
+// I/O overlap across workers.
+func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		msg  Message
+		addr net.Addr
+	}
+	jobs := make(chan job, workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				resp, _ := n.HandleMessage(&j.msg)
+				if resp == nil {
+					continue
+				}
+				out, err := resp.ToMessage().Encode()
+				if err != nil {
+					continue
+				}
+				pc.WriteTo(out, j.addr)
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	buf := make([]byte, 65536)
+	for {
+		if err := pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+			return err
+		}
+		sz, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				select {
+				case <-ctx.Done():
+					return nil
+				default:
+					continue
+				}
+			}
+			return err
+		}
+		var msg Message
+		if derr := msg.Decode(buf[:sz]); derr != nil {
+			continue
+		}
+		// Copy the payload out of the shared read buffer before handing
+		// the message to a worker.
+		msg.Payload = append([]byte(nil), msg.Payload...)
+		jobs <- job{msg: msg, addr: addr}
+	}
+}
+
+// Client queries a Lightning NIC over UDP.
+type Client struct {
+	conn   net.Conn
+	nextID uint32
+	// Timeout bounds each round trip.
+	Timeout time.Duration
+}
+
+// Dial connects a client to a serving NIC's UDP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lightning: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn, Timeout: 2 * time.Second}, nil
+}
+
+// Close releases the client's socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Infer sends one query and waits for its response, returning the response
+// and the observed round-trip latency.
+func (c *Client) Infer(modelID uint16, payload []Code) (*Response, time.Duration, error) {
+	c.nextID++
+	id := c.nextID
+	raw := make([]byte, len(payload))
+	for i, p := range payload {
+		raw[i] = byte(p)
+	}
+	// Large queries (Table 6's 150 KB images) travel as fragments that the
+	// NIC's packet assembler reassembles.
+	msgs, err := nic.Fragment(id, modelID, raw, nic.MaxFragPayload)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	for _, m := range msgs {
+		out, err := m.Encode()
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := c.conn.Write(out); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, 65536)
+	for {
+		sz, err := c.conn.Read(buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		var reply Message
+		if err := reply.Decode(buf[:sz]); err != nil {
+			continue
+		}
+		if reply.RequestID != id || !reply.IsResponse() {
+			continue // stale datagram
+		}
+		resp, err := nic.ParseResponse(&reply)
+		if err != nil {
+			return nil, 0, err
+		}
+		return resp, time.Since(start), nil
+	}
+}
