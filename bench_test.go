@@ -10,8 +10,10 @@ package lightning
 // them reproducible and measure their cost.
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
+	"net"
 	"testing"
 
 	"github.com/lightning-smartnic/lightning/internal/converter"
@@ -174,6 +176,106 @@ func BenchmarkEndToEndInference(b *testing.B) {
 		if _, err := loader.Serve(1, set.Examples[i%len(set.Examples)].X); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchModel trains the small anomaly classifier the serve benches share.
+func benchModel(b *testing.B) (*nn.QuantizedNetwork, []byte) {
+	b.Helper()
+	set := dataset.Anomaly(300, 1)
+	net := nn.New(1, dataset.FlowFeatureWidth, 16, 8, 2)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 5
+	net.Train(set, cfg)
+	q := nn.Quantize(net, set)
+	raw := make([]byte, len(set.Examples[0].X))
+	for i, c := range set.Examples[0].X {
+		raw[i] = byte(c)
+	}
+	return q, raw
+}
+
+// BenchmarkServeCoresScaling measures concurrent inference throughput as the
+// photonic core shard count grows (Config.Cores, the §7 replicated-core
+// scaling). Queries arrive from GOMAXPROCS goroutines, as ServeUDPWorkers'
+// worker pool would deliver them; with one shard they serialize at the
+// single photonic pipeline, with N shards up to N run in parallel, so
+// ns/op should drop toward 1/N on a multi-core host.
+func BenchmarkServeCoresScaling(b *testing.B) {
+	q, raw := benchModel(b)
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmtInt("cores", cores), func(b *testing.B) {
+			n, err := New(Config{Lanes: 2, Seed: 1, Cores: cores})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := n.RegisterModel(1, "anomaly", q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					msg := &Message{RequestID: 1, ModelID: 1, Payload: raw}
+					if _, err := n.HandleMessage(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeUDPWorkersCores drives the full UDP serve path — socket,
+// wire codec, worker pool, sharded datapath — with one concurrent client
+// per shard, sweeping the shard count.
+func BenchmarkServeUDPWorkersCores(b *testing.B) {
+	q, raw := benchModel(b)
+	payload := make([]fixed.Code, len(raw))
+	for i, v := range raw {
+		payload[i] = fixed.Code(v)
+	}
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmtInt("cores", cores), func(b *testing.B) {
+			n, err := New(Config{Lanes: 2, Seed: 1, Cores: cores})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := n.RegisterModel(1, "anomaly", q); err != nil {
+				b.Fatal(err)
+			}
+			pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pc.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				n.ServeUDPWorkers(ctx, pc, 2*cores)
+			}()
+			addr := pc.LocalAddr().String()
+			b.SetParallelism(1) // goroutines = GOMAXPROCS, one client each
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c, err := Dial(addr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer c.Close()
+				for pb.Next() {
+					if _, _, err := c.Infer(1, payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			cancel()
+			<-done
+		})
 	}
 }
 

@@ -26,6 +26,7 @@ func main() {
 	loadPath := flag.String("load", "", "load a saved model instead of training")
 	savePath := flag.String("save", "", "save the trained model to this file")
 	workers := flag.Int("workers", 1, "UDP worker pool size")
+	cores := flag.Int("cores", 1, "photonic core shards (1 = the §6 prototype)")
 	flag.Parse()
 
 	var train *lightning.Dataset
@@ -82,7 +83,7 @@ func main() {
 		log.Printf("saved model to %s", *savePath)
 	}
 
-	nic, err := lightning.New(lightning.Config{Lanes: 2, Noiseless: *noiseless, Seed: *seed})
+	nic, err := lightning.New(lightning.Config{Lanes: 2, Noiseless: *noiseless, Seed: *seed, Cores: *cores})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +96,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer pc.Close()
-	log.Printf("serving model %q (id %d) on %s", *modelName, id, pc.LocalAddr())
+	log.Printf("serving model %q (id %d) on %s with %d core shard(s)",
+		*modelName, id, pc.LocalAddr(), nic.Cores())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -108,5 +110,5 @@ func main() {
 	if serveErr != nil {
 		log.Fatal(serveErr)
 	}
-	fmt.Printf("served %d inference queries\n", nic.Served)
+	fmt.Printf("served %d inference queries\n", nic.Served())
 }

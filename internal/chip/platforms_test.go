@@ -1,0 +1,92 @@
+package chip
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable3PlatformOrder(t *testing.T) {
+	want := []string{"Lightning", "P4", "A100", "A100X", "Brainwave"}
+	got := Table3Platforms()
+	if len(got) != len(want) {
+		t.Fatalf("%d platforms, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.Name != want[i] {
+			t.Errorf("platform %d = %s, want %s", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestA100PaperAnchors(t *testing.T) {
+	// Table 3's A100 column: 0.0362 W per unit, 25.652 pJ/MAC.
+	a := A100Platform()
+	if got := a.UnitPowerW(); math.Abs(got-0.0362) > 0.001 {
+		t.Errorf("A100 unit power = %.4f W, want ≈0.0362", got)
+	}
+	if got := a.EnergyPerMACJoules() * 1e12; math.Abs(got-25.652) > 0.5 {
+		t.Errorf("A100 energy = %.3f pJ/MAC, want ≈25.652", got)
+	}
+}
+
+func TestLightningEnergyAdvantage(t *testing.T) {
+	l := LightningPlatform()
+	for _, p := range Table3Platforms()[1:] {
+		if l.EnergyPerMACJoules() >= p.EnergyPerMACJoules() {
+			t.Errorf("Lightning energy/MAC not below %s", p.Name)
+		}
+		if s := l.EnergySavingsVs(p); s <= 1 {
+			t.Errorf("savings vs %s = %.2f, want > 1", p.Name, s)
+		}
+		// Savings factors invert cleanly.
+		if prod := l.EnergySavingsVs(p) * p.EnergySavingsVs(l); math.Abs(prod-1) > 1e-9 {
+			t.Errorf("savings product vs %s = %v, want 1", p.Name, prod)
+		}
+	}
+}
+
+func TestMACRateEfficiencyDerating(t *testing.T) {
+	p := P4Platform()
+	peak := p.MACRate()
+	p.Efficiency = 0.5
+	if got := p.MACRate(); math.Abs(got-peak/2) > 1 {
+		t.Errorf("derated rate = %v, want half of %v", got, peak)
+	}
+	p.Efficiency = 0 // unset: treated as peak
+	if got := p.MACRate(); got != peak {
+		t.Errorf("zero efficiency rate = %v, want peak %v", got, peak)
+	}
+}
+
+func TestPlatformStringNamesPlatform(t *testing.T) {
+	for _, p := range Table3Platforms() {
+		if s := p.String(); !strings.Contains(s, p.Name) {
+			t.Errorf("String() = %q does not contain %q", s, p.Name)
+		}
+	}
+}
+
+func TestPhotonicCostLinearInArea(t *testing.T) {
+	cm := DefaultCostModel()
+	p1, v1 := cm.PhotonicCost(200)
+	p2, v2 := cm.PhotonicCost(400)
+	if math.Abs(p2-2*p1) > 1e-6 || math.Abs(v2-2*v1) > 1e-6 {
+		t.Errorf("cost not linear: (%v,%v) vs (%v,%v)", p1, v1, p2, v2)
+	}
+	if math.Abs(v1-p1/cm.MassProductionDiscount) > 1e-9 {
+		t.Errorf("volume %v != prototype/%v", v1, cm.MassProductionDiscount)
+	}
+}
+
+func TestElectronicCostGrowsWithArea(t *testing.T) {
+	cm := DefaultCostModel()
+	small, big := cm.ElectronicCost(100), cm.ElectronicCost(600)
+	if small <= 0 || big <= small {
+		t.Errorf("costs = %v, %v; want 0 < small < big", small, big)
+	}
+	// Dies per wafer scale 1/area, so cost is linear in area.
+	if math.Abs(big-6*small) > 1e-6 {
+		t.Errorf("cost not linear: %v vs 6×%v", big, small)
+	}
+}

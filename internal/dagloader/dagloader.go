@@ -9,6 +9,7 @@ package dagloader
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"github.com/lightning-smartnic/lightning/internal/countaction"
 	"github.com/lightning-smartnic/lightning/internal/datapath"
@@ -162,78 +163,147 @@ func DecodeBias(blob []byte) []fixed.Acc {
 	return out
 }
 
-// Loader owns the datapath's control registers, the DRAM-resident model
-// store, and the compiled programs.
-type Loader struct {
-	Regs   *countaction.RegisterFile
-	DRAM   *mem.DRAM
-	Engine *datapath.Engine
+// Store is the shared model registry and DRAM weight store. In the sharded
+// NIC every photonic core shard serves out of one Store, exactly as the §7
+// chip's replicated cores all read the same off-chip memory. All methods
+// are safe for concurrent use: registrations and updates take the write
+// lock, and every in-flight query holds the read lock, so a PCIe model
+// update (§6.1) waits for in-flight queries against the old version to
+// drain before the swap — and can never yank weight blobs out from under a
+// running layer.
+type Store struct {
+	DRAM *mem.DRAM
 
+	mu     sync.RWMutex
 	models map[uint16]*ModelConfig
-
-	// Reconfigurations counts applied layer programs (each one is a pure
-	// register-write burst — the datapath never stops).
-	Reconfigurations uint64
 }
 
-// NewLoader wires a loader to an engine and DRAM.
-func NewLoader(engine *datapath.Engine, dram *mem.DRAM) *Loader {
-	return &Loader{
-		Regs:   countaction.NewRegisterFile(int(NumRegs)),
-		DRAM:   dram,
-		Engine: engine,
-		models: make(map[uint16]*ModelConfig),
-	}
+// NewStore wraps a DRAM in an empty model registry.
+func NewStore(dram *mem.DRAM) *Store {
+	return &Store{DRAM: dram, models: make(map[uint16]*ModelConfig)}
 }
 
-// RegisterModel compiles a quantized network, stores its parameters in
-// DRAM, and makes it servable under the model ID.
-func (ld *Loader) RegisterModel(id uint16, name string, q *nn.QuantizedNetwork) error {
-	if _, dup := ld.models[id]; dup {
-		return fmt.Errorf("dagloader: model id %d already registered", id)
+// Register stores a compiled model's parameters in DRAM and makes it
+// servable under its wire ID.
+func (s *Store) Register(mc *ModelConfig, q *nn.QuantizedNetwork) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(mc, q)
+}
+
+func (s *Store) registerLocked(mc *ModelConfig, q *nn.QuantizedNetwork) error {
+	if _, dup := s.models[mc.ID]; dup {
+		return fmt.Errorf("dagloader: model id %d already registered", mc.ID)
 	}
-	mc := Compile(id, name, q, ld.Engine.Core.NumLanes()*2, ld.Engine.Core.NumLanes())
 	for l, lc := range mc.Layers {
-		if err := ld.DRAM.Store(lc.WeightsKey, EncodeWeights(q.Layers[l].Weights)); err != nil {
+		if err := s.DRAM.Store(lc.WeightsKey, EncodeWeights(q.Layers[l].Weights)); err != nil {
 			return fmt.Errorf("storing %s: %w", lc.WeightsKey, err)
 		}
-		if err := ld.DRAM.Store(lc.BiasKey, EncodeBias(q.Layers[l].Bias)); err != nil {
+		if err := s.DRAM.Store(lc.BiasKey, EncodeBias(q.Layers[l].Bias)); err != nil {
 			return fmt.Errorf("storing %s: %w", lc.BiasKey, err)
 		}
 	}
-	ld.models[id] = mc
+	s.models[mc.ID] = mc
 	return nil
+}
+
+// Update atomically replaces a registered model's parameters with a freshly
+// compiled configuration. It blocks until in-flight queries against the old
+// version complete (they hold the read lock), then swaps.
+func (s *Store) Update(mc *ModelConfig, q *nn.QuantizedNetwork) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.models[mc.ID]
+	if !ok {
+		return fmt.Errorf("dagloader: model id %d not registered", mc.ID)
+	}
+	for _, lc := range old.Layers {
+		s.DRAM.Delete(lc.WeightsKey)
+		s.DRAM.Delete(lc.BiasKey)
+	}
+	delete(s.models, mc.ID)
+	if err := s.registerLocked(mc, q); err != nil {
+		return fmt.Errorf("dagloader: updating model %d: %w", mc.ID, err)
+	}
+	return nil
+}
+
+// Model returns a registered model's configuration.
+func (s *Store) Model(id uint16) (*ModelConfig, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mc, ok := s.models[id]
+	return mc, ok
+}
+
+// Models returns the registered model count.
+func (s *Store) Models() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.models)
+}
+
+// Loader owns one datapath shard's control registers and photonic engine,
+// serving models out of a (possibly shared) Store. A Loader is single-
+// threaded — one shard is one hardware pipeline — so the caller serializes
+// Serve calls per Loader; sharing the Store across Loaders is what makes
+// multi-shard serving safe.
+type Loader struct {
+	Regs   *countaction.RegisterFile
+	Store  *Store
+	Engine *datapath.Engine
+
+	// DRAM aliases Store.DRAM for convenience.
+	DRAM *mem.DRAM
+
+	// Reconfigurations counts applied layer programs (each one is a pure
+	// register-write burst — the datapath never stops). Per-shard; read it
+	// under the same serialization that guards Serve.
+	Reconfigurations uint64
+}
+
+// NewLoader wires a loader to an engine and a private store over the DRAM.
+func NewLoader(engine *datapath.Engine, dram *mem.DRAM) *Loader {
+	return NewLoaderWithStore(engine, NewStore(dram))
+}
+
+// NewLoaderWithStore wires a loader shard to an engine and a shared store.
+func NewLoaderWithStore(engine *datapath.Engine, store *Store) *Loader {
+	return &Loader{
+		Regs:   countaction.NewRegisterFile(int(NumRegs)),
+		Store:  store,
+		Engine: engine,
+		DRAM:   store.DRAM,
+	}
+}
+
+// RegisterModel compiles a quantized network for this loader's engine
+// geometry, stores its parameters in DRAM, and makes it servable under the
+// model ID (on every loader sharing the store).
+func (ld *Loader) RegisterModel(id uint16, name string, q *nn.QuantizedNetwork) error {
+	mc := Compile(id, name, q, ld.Engine.Core.NumLanes()*2, ld.Engine.Core.NumLanes())
+	return ld.Store.Register(mc, q)
 }
 
 // UpdateModel replaces a registered model's parameters and programs in
 // place — the §6.1 PCIe path: "Lightning uses the PCIe interface to interact
 // with the local host for ... updating DNN model parameters". The new
 // network may have a different architecture; in-flight queries for the old
-// version complete before the swap (the caller serializes with Serve).
+// version complete before the swap.
 func (ld *Loader) UpdateModel(id uint16, q *nn.QuantizedNetwork) error {
-	old, ok := ld.models[id]
+	old, ok := ld.Store.Model(id)
 	if !ok {
 		return fmt.Errorf("dagloader: model id %d not registered", id)
 	}
-	for _, lc := range old.Layers {
-		ld.DRAM.Delete(lc.WeightsKey)
-		ld.DRAM.Delete(lc.BiasKey)
-	}
-	delete(ld.models, id)
-	if err := ld.RegisterModel(id, old.Name, q); err != nil {
-		return fmt.Errorf("dagloader: updating model %d: %w", id, err)
-	}
-	return nil
+	mc := Compile(id, old.Name, q, ld.Engine.Core.NumLanes()*2, ld.Engine.Core.NumLanes())
+	return ld.Store.Update(mc, q)
 }
 
 // Model returns a registered model's configuration.
-func (ld *Loader) Model(id uint16) (*ModelConfig, bool) {
-	mc, ok := ld.models[id]
-	return mc, ok
-}
+func (ld *Loader) Model(id uint16) (*ModelConfig, bool) { return ld.Store.Model(id) }
 
 // Models returns the registered model count.
-func (ld *Loader) Models() int { return len(ld.models) }
+func (ld *Loader) Models() int { return ld.Store.Models() }
 
 // Result is one served inference.
 type Result struct {
@@ -249,8 +319,14 @@ type Result struct {
 // each layer it applies the compiled program to the control registers,
 // streams the layer's weights from DRAM, and executes through the photonic
 // pipeline. Input length must match the model's first layer.
+//
+// Serve holds the store's read lock for the whole query, so a concurrent
+// model update waits until in-flight queries drain and a query never sees a
+// half-swapped model.
 func (ld *Loader) Serve(id uint16, input []fixed.Code) (*Result, error) {
-	mc, ok := ld.models[id]
+	ld.Store.mu.RLock()
+	defer ld.Store.mu.RUnlock()
+	mc, ok := ld.Store.models[id]
 	if !ok {
 		return nil, fmt.Errorf("dagloader: unknown model id %d", id)
 	}

@@ -1,0 +1,40 @@
+package emu
+
+import "testing"
+
+func TestEmulationProxiesFig19Set(t *testing.T) {
+	nets := EmulationProxies(1)
+	want := []string{"alexnet-proxy", "vgg11-proxy", "vgg16-proxy", "vgg19-proxy"}
+	if len(nets) != len(want) {
+		t.Fatalf("%d proxies, want %d", len(nets), len(want))
+	}
+	for i, n := range nets {
+		if n.Name != want[i] {
+			t.Errorf("proxy %d = %s, want %s", i, n.Name, want[i])
+		}
+	}
+	// The VGG family deepens monotonically, as the op counts must reflect.
+	if !(len(nets[1].Ops) < len(nets[2].Ops) && len(nets[2].Ops) < len(nets[3].Ops)) {
+		t.Errorf("VGG proxy depths not increasing: %d, %d, %d",
+			len(nets[1].Ops), len(nets[2].Ops), len(nets[3].Ops))
+	}
+}
+
+// TestEvaluateReproducible pins the noisy photonic scheme too: identical
+// emulator seed and evaluation seed must reproduce identical agreement
+// numbers, the property every fixed-seed experiment in the repo relies on.
+func TestEvaluateReproducible(t *testing.T) {
+	net := ProxyAlexNet(3)
+	run := func() []AgreementResult {
+		return NewCalibrated(7).Evaluate(net, 2, 11)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("result lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("scheme %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

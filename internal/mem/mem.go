@@ -9,6 +9,8 @@ package mem
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/lightning-smartnic/lightning/internal/axi"
@@ -62,17 +64,20 @@ func (s Spec) TransferTime(n int64) time.Duration {
 
 // DRAM is a capacity-bounded key/value blob store with latency modeling.
 // Lightning stores pre-trained DNN parameters here, keyed by model and
-// layer.
+// layer. All methods are safe for concurrent use: one DRAM is shared by
+// every photonic core shard, exactly as the prototype's single DDR4 bank
+// feeds the whole datapath.
 type DRAM struct {
 	Spec Spec
 
+	mu   sync.RWMutex // guards data, used and rng
 	data map[string][]byte
 	used int64
 	rng  *rand.Rand
 
-	// Reads and ReadBytes count accesses for the energy model.
-	Reads     uint64
-	ReadBytes uint64
+	// reads and readBytes count accesses for the energy model.
+	reads     atomic.Uint64
+	readBytes atomic.Uint64
 }
 
 // New creates a DRAM with the given spec; seed drives latency jitter.
@@ -81,11 +86,23 @@ func New(spec Spec, seed uint64) *DRAM {
 }
 
 // Used returns the stored byte count.
-func (d *DRAM) Used() int64 { return d.used }
+func (d *DRAM) Used() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.used
+}
+
+// Reads returns the access count for the energy model.
+func (d *DRAM) Reads() uint64 { return d.reads.Load() }
+
+// ReadBytes returns the bytes-read count for the energy model.
+func (d *DRAM) ReadBytes() uint64 { return d.readBytes.Load() }
 
 // Store writes a blob, enforcing capacity. Overwriting a key reuses its
 // space.
 func (d *DRAM) Store(key string, blob []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	delta := int64(len(blob)) - int64(len(d.data[key]))
 	if d.used+delta > d.Spec.CapacityBytes {
 		return fmt.Errorf("mem: %s full: %d + %d > %d bytes", d.Spec.Name, d.used, delta, d.Spec.CapacityBytes)
@@ -99,16 +116,20 @@ func (d *DRAM) Store(key string, blob []byte) error {
 
 // Delete removes a blob.
 func (d *DRAM) Delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.used -= int64(len(d.data[key]))
 	delete(d.data, key)
 }
 
 // Load returns a stored blob without copying. Callers must not mutate it.
 func (d *DRAM) Load(key string) ([]byte, bool) {
+	d.mu.RLock()
 	b, ok := d.data[key]
+	d.mu.RUnlock()
 	if ok {
-		d.Reads++
-		d.ReadBytes += uint64(len(b))
+		d.reads.Add(1)
+		d.readBytes.Add(uint64(len(b)))
 	}
 	return b, ok
 }
@@ -117,8 +138,17 @@ func (d *DRAM) Load(key string) ([]byte, bool) {
 // the variation that desynchronizes DAC lanes absent the count-action
 // streamer.
 func (d *DRAM) AccessLatency() time.Duration {
+	d.mu.Lock()
 	j := d.rng.Float64() * d.Spec.JitterNs
+	d.mu.Unlock()
 	return time.Duration((d.Spec.LatencyNs + j) * float64(time.Nanosecond))
+}
+
+// jitterDraw returns one uniform draw from the DRAM's rng under the lock.
+func (d *DRAM) jitterDraw() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Float64()
 }
 
 // Reader streams a stored blob toward a DAC lane in bursts, modeling DRAM
@@ -155,7 +185,7 @@ func (r *Reader) Fill(dst *axi.Stream[fixed.Code]) int {
 	if r.Remaining() == 0 {
 		return 0
 	}
-	if r.dram.rng.Float64() < r.StallProb {
+	if r.dram.jitterDraw() < r.StallProb {
 		return 0 // burstiness: nothing arrives this cycle
 	}
 	n := 0

@@ -42,8 +42,8 @@ func TestStoreLoadDelete(t *testing.T) {
 	if !ok || len(b) != 3 || b[2] != 3 {
 		t.Errorf("Load = %v, %v", b, ok)
 	}
-	if d.Reads != 1 || d.ReadBytes != 3 {
-		t.Errorf("read stats: %d, %d", d.Reads, d.ReadBytes)
+	if d.Reads() != 1 || d.ReadBytes() != 3 {
+		t.Errorf("read stats: %d, %d", d.Reads(), d.ReadBytes())
 	}
 	// Overwrite reuses space.
 	if err := d.Store("k", []byte{9}); err != nil {
@@ -179,11 +179,11 @@ func TestKernelCacheReuse(t *testing.T) {
 	if b := kc.Get("conv1/kernel", d); b == nil {
 		t.Fatal("miss path returned nil")
 	}
-	dramReadsAfterFirst := d.Reads
+	dramReadsAfterFirst := d.Reads()
 	for i := 0; i < 10; i++ {
 		kc.Get("conv1/kernel", d)
 	}
-	if d.Reads != dramReadsAfterFirst {
+	if d.Reads() != dramReadsAfterFirst {
 		t.Error("cache hits still touched DRAM")
 	}
 	if kc.Hits != 10 || kc.Misses != 1 {

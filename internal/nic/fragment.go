@@ -3,6 +3,7 @@ package nic
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Query fragmentation. Table 6's vision queries are 150 KB — larger than a
@@ -77,15 +78,18 @@ type partialQuery struct {
 // Reassembler is the packet assembler's reassembly buffer: it collects
 // fragments by request ID and releases the complete query. Entries are
 // bounded; when full, the oldest in-flight query is discarded (a hardware
-// reassembly table's behaviour under pressure).
+// reassembly table's behaviour under pressure). All methods are safe for
+// concurrent use: fragments of distinct requests arrive interleaved across
+// worker goroutines.
 type Reassembler struct {
+	mu      sync.Mutex
 	cap     int
 	pending map[uint32]*partialQuery
 	order   []uint32
 
-	// Drops counts discarded in-flight queries (table pressure or
+	// drops counts discarded in-flight queries (table pressure or
 	// inconsistent fragments).
-	Drops uint64
+	drops uint64
 }
 
 // NewReassembler builds a table bounded to capacity in-flight queries.
@@ -97,13 +101,26 @@ func NewReassembler(capacity int) *Reassembler {
 }
 
 // Pending returns the in-flight query count.
-func (r *Reassembler) Pending() int { return len(r.pending) }
+func (r *Reassembler) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Drops returns the discarded in-flight query count.
+func (r *Reassembler) Drops() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
 
 // Offer consumes one message. Unfragmented queries pass straight through as
 // (query, true). Fragments accumulate; the final fragment of a request
 // releases the assembled query. Inconsistent fragments drop the whole
 // request.
 func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if m.Flags&FlagFragment == 0 {
 		return m.Payload, m.ModelID, true, nil
 	}
@@ -123,7 +140,7 @@ func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool
 			victim := r.order[0]
 			r.order = r.order[1:]
 			delete(r.pending, victim)
-			r.Drops++
+			r.drops++
 		}
 		pq = &partialQuery{
 			modelID: m.ModelID,
@@ -136,13 +153,13 @@ func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool
 	}
 	if pq.total != total || pq.modelID != m.ModelID {
 		r.remove(m.RequestID)
-		r.Drops++
+		r.drops++
 		return nil, 0, false, fmt.Errorf("nic: inconsistent fragment for request %d", m.RequestID)
 	}
 	hi := lo + len(body)
 	if lo < 0 || hi > total {
 		r.remove(m.RequestID)
-		r.Drops++
+		r.drops++
 		return nil, 0, false, fmt.Errorf("nic: fragment [%d,%d) overflows %d-byte query", lo, hi, total)
 	}
 	if !pq.have[lo] {

@@ -114,8 +114,68 @@ func TestReassemblerTablePressure(t *testing.T) {
 	if r.Pending() != 2 {
 		t.Errorf("pending = %d, want 2", r.Pending())
 	}
-	if r.Drops != 1 {
-		t.Errorf("drops = %d, want 1", r.Drops)
+	if r.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", r.Drops())
+	}
+}
+
+// TestReassemblerManyInFlight drives more concurrent fragmented queries
+// than the table holds (the NIC uses a 256-entry table): the oldest entries
+// are evicted FIFO, every survivor still completes, and the evicted ones
+// never do.
+func TestReassemblerManyInFlight(t *testing.T) {
+	const (
+		capacity = 256
+		inflight = 300
+	)
+	r := NewReassembler(capacity)
+	queries := make(map[uint32][]byte, inflight)
+	frags := make(map[uint32][]*Message, inflight)
+	for id := uint32(1); id <= inflight; id++ {
+		q := bytes.Repeat([]byte{byte(id)}, 2000)
+		msgs, err := Fragment(id, 1, q, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[id], frags[id] = q, msgs
+		// First fragment only: the query stays in flight.
+		if _, _, done, err := r.Offer(msgs[0]); err != nil || done {
+			t.Fatalf("id %d: done=%v err=%v on first fragment", id, done, err)
+		}
+	}
+	if r.Pending() != capacity {
+		t.Errorf("pending = %d, want %d", r.Pending(), capacity)
+	}
+	if want := uint64(inflight - capacity); r.Drops() != want {
+		t.Errorf("drops = %d, want %d", r.Drops(), want)
+	}
+	// The oldest (inflight-capacity) queries were evicted; the surviving
+	// 256 all still complete. Drain the survivors first so their entries
+	// free up before the evicted tails re-open entries of their own.
+	finish := func(id uint32) []byte {
+		var got []byte
+		for _, m := range frags[id][1:] {
+			q, _, done, err := r.Offer(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				got = q
+			}
+		}
+		return got
+	}
+	for id := uint32(inflight - capacity + 1); id <= inflight; id++ {
+		if !bytes.Equal(finish(id), queries[id]) {
+			t.Fatalf("surviving id %d did not reassemble", id)
+		}
+	}
+	for id := uint32(1); id <= inflight-capacity; id++ {
+		// An evicted query's tail fragments re-open an entry that can never
+		// see the first chunk again; it must not complete.
+		if finish(id) != nil {
+			t.Fatalf("evicted id %d completed", id)
+		}
 	}
 }
 

@@ -1,10 +1,14 @@
 package nic
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Link models the 100 Gbps Ethernet interface (CMAC) the prototype uses: it
 // accounts serialization time and per-frame overheads so latency experiments
-// charge realistic wire costs.
+// charge realistic wire costs. Transmit accounting is atomic: response
+// frames leave from every worker goroutine concurrently.
 type Link struct {
 	// BitsPerSec is the line rate (1e11 for the prototype's CMAC).
 	BitsPerSec float64
@@ -12,14 +16,20 @@ type Link struct {
 	// preamble+SFD (8), FCS (4) and inter-packet gap (12).
 	OverheadBytes int
 
-	// TxFrames, TxBytes account transmitted traffic.
-	TxFrames, TxBytes uint64
+	// txFrames, txBytes account transmitted traffic.
+	txFrames, txBytes atomic.Uint64
 }
 
 // NewLink returns the prototype's 100 Gbps CMAC model.
 func NewLink() *Link {
 	return &Link{BitsPerSec: 100e9, OverheadBytes: 24}
 }
+
+// TxFrames returns the transmitted frame count.
+func (l *Link) TxFrames() uint64 { return l.txFrames.Load() }
+
+// TxBytes returns the transmitted byte count.
+func (l *Link) TxBytes() uint64 { return l.txBytes.Load() }
 
 // SerializationTime returns the wire time for one frame of n payload bytes.
 func (l *Link) SerializationTime(n int) time.Duration {
@@ -29,8 +39,8 @@ func (l *Link) SerializationTime(n int) time.Duration {
 
 // Transmit accounts a frame and returns its serialization time.
 func (l *Link) Transmit(n int) time.Duration {
-	l.TxFrames++
-	l.TxBytes += uint64(n)
+	l.txFrames.Add(1)
+	l.txBytes.Add(uint64(n))
 	return l.SerializationTime(n)
 }
 
@@ -39,5 +49,5 @@ func (l *Link) UtilizedBps(window time.Duration) float64 {
 	if window <= 0 {
 		return 0
 	}
-	return float64(l.TxBytes) * 8 / window.Seconds()
+	return float64(l.TxBytes()) * 8 / window.Seconds()
 }

@@ -2,6 +2,8 @@ package nic
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Verdict classifies what the packet parser decided about a frame (§4
@@ -44,7 +46,7 @@ type Parsed struct {
 	Reason string
 }
 
-// ParserStats counts parser outcomes.
+// ParserStats is a snapshot of the parser's outcome counters.
 type ParserStats struct {
 	Frames, Inference, Forwarded, Dropped uint64
 	Malformed                             uint64
@@ -55,6 +57,10 @@ type ParserStats struct {
 // data, and punts everything else toward the host. An optional IDS inspects
 // every frame first (§6.1: "advanced smartNIC features, such as intrusion
 // detection").
+//
+// Parse is safe for concurrent use: the hardware parser serves every RX
+// queue at line rate, so the model keeps per-outcome counters atomic and
+// locks the flow table and IDS internally.
 type Parser struct {
 	// Port is the inference destination port (InferencePort by default).
 	Port uint16
@@ -63,7 +69,7 @@ type Parser struct {
 	// Flows, when set, tracks per-flow statistics.
 	Flows *FlowTable
 
-	Stats ParserStats
+	frames, inference, forwarded, dropped, malformed atomic.Uint64
 }
 
 // NewParser returns a parser with the default port and the standard IDS and
@@ -72,23 +78,34 @@ func NewParser() *Parser {
 	return &Parser{Port: InferencePort, IDS: NewIDS(), Flows: NewFlowTable(65536)}
 }
 
+// Stats returns a snapshot of the parser's outcome counters.
+func (p *Parser) Stats() ParserStats {
+	return ParserStats{
+		Frames:    p.frames.Load(),
+		Inference: p.inference.Load(),
+		Forwarded: p.forwarded.Load(),
+		Dropped:   p.dropped.Load(),
+		Malformed: p.malformed.Load(),
+	}
+}
+
 // Parse inspects one Ethernet frame and classifies it.
 func (p *Parser) Parse(frame []byte) Parsed {
-	p.Stats.Frames++
+	p.frames.Add(1)
 	var eth Ethernet
 	if err := eth.DecodeFromBytes(frame); err != nil {
-		p.Stats.Malformed++
-		p.Stats.Dropped++
+		p.malformed.Add(1)
+		p.dropped.Add(1)
 		return Parsed{Verdict: VerdictDrop, Reason: err.Error()}
 	}
 	if eth.EtherType != EtherTypeIPv4 {
-		p.Stats.Forwarded++
+		p.forwarded.Add(1)
 		return Parsed{Verdict: VerdictForward, Reason: "non-IPv4"}
 	}
 	var ip IPv4
 	if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
-		p.Stats.Malformed++
-		p.Stats.Dropped++
+		p.malformed.Add(1)
+		p.dropped.Add(1)
 		return Parsed{Verdict: VerdictDrop, Reason: err.Error()}
 	}
 
@@ -96,8 +113,8 @@ func (p *Parser) Parse(frame []byte) Parsed {
 	if ip.Protocol == IPProtoUDP {
 		var udp UDP
 		if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
-			p.Stats.Malformed++
-			p.Stats.Dropped++
+			p.malformed.Add(1)
+			p.dropped.Add(1)
 			return Parsed{Verdict: VerdictDrop, Reason: err.Error()}
 		}
 		out.Flow.SrcPort, out.Flow.DstPort = udp.SrcPort, udp.DstPort
@@ -107,7 +124,7 @@ func (p *Parser) Parse(frame []byte) Parsed {
 		}
 		if p.IDS != nil {
 			if blocked, why := p.IDS.Inspect(out.Flow, len(frame)); blocked {
-				p.Stats.Dropped++
+				p.dropped.Add(1)
 				out.Verdict = VerdictDrop
 				out.Reason = why
 				return out
@@ -115,20 +132,20 @@ func (p *Parser) Parse(frame []byte) Parsed {
 		}
 		if udp.DstPort == p.Port {
 			if err := out.Msg.Decode(udp.Payload()); err != nil {
-				p.Stats.Malformed++
-				p.Stats.Dropped++
+				p.malformed.Add(1)
+				p.dropped.Add(1)
 				out.Verdict = VerdictDrop
 				out.Reason = err.Error()
 				return out
 			}
-			p.Stats.Inference++
+			p.inference.Add(1)
 			out.Verdict = VerdictInference
 			return out
 		}
 	} else if p.Flows != nil {
 		p.Flows.Record(out.Flow, len(frame))
 	}
-	p.Stats.Forwarded++
+	p.forwarded.Add(1)
 	out.Verdict = VerdictForward
 	return out
 }
@@ -143,11 +160,13 @@ type FlowStats struct {
 }
 
 // FlowTable tracks per-five-tuple statistics with a bounded entry count.
+// All methods are safe for concurrent use.
 type FlowTable struct {
+	mu      sync.Mutex
 	cap     int
 	entries map[FiveTuple]*FlowStats
-	// Evictions counts table-full discards.
-	Evictions uint64
+	// evictions counts table-full discards.
+	evictions uint64
 }
 
 // NewFlowTable allocates a table bounded to capacity flows.
@@ -155,8 +174,18 @@ func NewFlowTable(capacity int) *FlowTable {
 	return &FlowTable{cap: capacity, entries: make(map[FiveTuple]*FlowStats)}
 }
 
-// Record accounts one frame to its flow.
-func (t *FlowTable) Record(f FiveTuple, frameLen int) *FlowStats {
+// Evictions returns the table-full discard count.
+func (t *FlowTable) Evictions() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evictions
+}
+
+// Record accounts one frame to its flow and returns a snapshot of the
+// flow's statistics after the update.
+func (t *FlowTable) Record(f FiveTuple, frameLen int) FlowStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	st, ok := t.entries[f]
 	if !ok {
 		if len(t.entries) >= t.cap {
@@ -164,7 +193,7 @@ func (t *FlowTable) Record(f FiveTuple, frameLen int) *FlowStats {
 			// hash table would on collision.
 			for victim := range t.entries {
 				delete(t.entries, victim)
-				t.Evictions++
+				t.evictions++
 				break
 			}
 		}
@@ -179,24 +208,33 @@ func (t *FlowTable) Record(f FiveTuple, frameLen int) *FlowStats {
 	if frameLen > st.MaxLen {
 		st.MaxLen = frameLen
 	}
-	return st
+	return *st
 }
 
-// Lookup returns a flow's stats.
-func (t *FlowTable) Lookup(f FiveTuple) (*FlowStats, bool) {
+// Lookup returns a snapshot of a flow's stats.
+func (t *FlowTable) Lookup(f FiveTuple) (FlowStats, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	st, ok := t.entries[f]
-	return st, ok
+	if !ok {
+		return FlowStats{}, false
+	}
+	return *st, true
 }
 
 // Len returns the tracked flow count.
-func (t *FlowTable) Len() int { return len(t.entries) }
+func (t *FlowTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
 
 // Features extracts the 32-element normalized feature vector (packet and
 // byte counts, length extremes, port entropy proxies) the NIC-resident
 // classification models consume.
 func (t *FlowTable) Features(f FiveTuple) [32]uint8 {
 	var out [32]uint8
-	st, ok := t.entries[f]
+	st, ok := t.Lookup(f)
 	if !ok {
 		return out
 	}
@@ -228,19 +266,20 @@ func (t *FlowTable) Features(f FiveTuple) [32]uint8 {
 // IDS is a per-source-address rate-based intrusion detector: a source that
 // touches too many distinct destination ports (a scan) or exceeds a packet
 // budget is blocked. It stands in for the prototype's intrusion-detection
-// offload.
+// offload. All methods are safe for concurrent use.
 type IDS struct {
 	// MaxPortsPerSrc blocks sources scanning more destination ports.
 	MaxPortsPerSrc int
 	// MaxPacketsPerSrc blocks sources exceeding this packet budget.
 	MaxPacketsPerSrc uint64
 
+	mu      sync.Mutex
 	ports   map[string]map[uint16]struct{}
 	packets map[string]uint64
 	blocked map[string]string
 
-	// Blocks counts the distinct sources blocked.
-	Blocks uint64
+	// blocks counts the distinct sources blocked.
+	blocks uint64
 }
 
 // NewIDS returns an IDS with scan-detection defaults.
@@ -254,9 +293,18 @@ func NewIDS() *IDS {
 	}
 }
 
+// Blocks returns the count of distinct sources blocked.
+func (s *IDS) Blocks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks
+}
+
 // Inspect examines one frame's flow; it reports whether the frame must be
 // dropped and why.
 func (s *IDS) Inspect(f FiveTuple, frameLen int) (blocked bool, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	src := f.Src.String()
 	if why, bad := s.blocked[src]; bad {
 		return true, why
@@ -279,15 +327,18 @@ func (s *IDS) Inspect(f FiveTuple, frameLen int) (blocked bool, reason string) {
 	return false, ""
 }
 
+// block records a source as blocked; callers hold s.mu.
 func (s *IDS) block(src, why string) {
 	if _, dup := s.blocked[src]; !dup {
-		s.Blocks++
+		s.blocks++
 	}
 	s.blocked[src] = why
 }
 
 // Blocked reports whether a source address is currently blocked.
 func (s *IDS) Blocked(src string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.blocked[src]
 	return ok
 }

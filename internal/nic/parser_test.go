@@ -39,8 +39,8 @@ func TestParserRoutesByPort(t *testing.T) {
 	if v := p.Parse(regularUDPFrame("10.0.0.1", 5000, 53)).Verdict; v != VerdictForward {
 		t.Errorf("regular frame → %v", v)
 	}
-	if p.Stats.Inference != 1 || p.Stats.Forwarded != 1 {
-		t.Errorf("stats = %+v", p.Stats)
+	if st := p.Stats(); st.Inference != 1 || st.Forwarded != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 
@@ -66,8 +66,8 @@ func TestParserDropsMalformed(t *testing.T) {
 	if v := p.Parse(frame).Verdict; v != VerdictDrop {
 		t.Errorf("bad lightning header → %v", v)
 	}
-	if p.Stats.Malformed != 2 {
-		t.Errorf("malformed = %d", p.Stats.Malformed)
+	if st := p.Stats(); st.Malformed != 2 {
+		t.Errorf("malformed = %d", st.Malformed)
 	}
 }
 
@@ -107,8 +107,8 @@ func TestFlowTableEviction(t *testing.T) {
 	if ft.Len() != 2 {
 		t.Errorf("len = %d, want 2", ft.Len())
 	}
-	if ft.Evictions != 1 {
-		t.Errorf("evictions = %d", ft.Evictions)
+	if ft.Evictions() != 1 {
+		t.Errorf("evictions = %d", ft.Evictions())
 	}
 }
 
@@ -146,8 +146,8 @@ func TestIDSPortScanDetection(t *testing.T) {
 	if !p.IDS.Blocked("10.9.9.9") {
 		t.Error("source not in blocklist")
 	}
-	if p.IDS.Blocks != 1 {
-		t.Errorf("Blocks = %d", p.IDS.Blocks)
+	if p.IDS.Blocks() != 1 {
+		t.Errorf("Blocks = %d", p.IDS.Blocks())
 	}
 	// A legitimate source remains unaffected.
 	if v := p.Parse(regularUDPFrame("10.1.1.1", 4242, 53)).Verdict; v != VerdictForward {
@@ -195,8 +195,8 @@ func TestLinkSerialization(t *testing.T) {
 	}
 	l.Transmit(1000)
 	l.Transmit(500)
-	if l.TxFrames != 2 || l.TxBytes != 1500 {
-		t.Errorf("tx stats = %d, %d", l.TxFrames, l.TxBytes)
+	if l.TxFrames() != 2 || l.TxBytes() != 1500 {
+		t.Errorf("tx stats = %d, %d", l.TxFrames(), l.TxBytes())
 	}
 	if bps := l.UtilizedBps(time.Microsecond); bps != 1500*8/1e-6 {
 		t.Errorf("utilized = %v", bps)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net/netip"
 	"testing"
+	"testing/quick"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -21,6 +22,32 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(d.Payload, m.Payload) {
 		t.Errorf("payload = %v", d.Payload)
+	}
+}
+
+// Property: Encode then Decode is the identity on every representable
+// message (any flags, IDs and payload up to the wire limit).
+func TestMessageEncodeDecodeProperty(t *testing.T) {
+	f := func(flags uint8, requestID uint32, modelID uint16, payload []byte) bool {
+		if len(payload) > 65535-WireHeaderLen {
+			payload = payload[:65535-WireHeaderLen]
+		}
+		m := Message{Flags: flags, RequestID: requestID, ModelID: modelID, Payload: payload}
+		raw, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		var d Message
+		if err := d.Decode(raw); err != nil {
+			return false
+		}
+		return d.Flags == m.Flags &&
+			d.RequestID == m.RequestID &&
+			d.ModelID == m.ModelID &&
+			bytes.Equal(d.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -115,6 +115,31 @@ func NewCore(n int, noise *NoiseModel) (*Core, error) {
 	return c, nil
 }
 
+// NewCoreArray builds count replicated cores of n lanes each — the §7 chip
+// design scales throughput by replicating the vector dot-product core. The
+// noise callback supplies core i's noise model (return nil for an ideal
+// channel); giving each core a distinctly-seeded model keeps the replicas'
+// analog noise decorrelated, as physically separate photonic circuits would
+// be. NewCoreArray(1, n, f) builds exactly NewCore(n, f(0)).
+func NewCoreArray(count, n int, noise func(i int) *NoiseModel) ([]*Core, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("photonic: core array needs at least one core, got %d", count)
+	}
+	cores := make([]*Core, count)
+	for i := range cores {
+		var nm *NoiseModel
+		if noise != nil {
+			nm = noise(i)
+		}
+		c, err := NewCore(n, nm)
+		if err != nil {
+			return nil, fmt.Errorf("photonic: core %d: %w", i, err)
+		}
+		cores[i] = c
+	}
+	return cores, nil
+}
+
 // NewPrototypeCore builds the testbed configuration of §6.1: two wavelengths
 // (1544.53 nm and 1552.52 nm), four modulators, one photodetector, and the
 // calibrated prototype noise of Fig 18.

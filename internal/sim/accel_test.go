@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/model"
+)
+
+func TestBenchmarksFig21Order(t *testing.T) {
+	want := []string{"A100", "A100X", "Brainwave"}
+	got := Benchmarks()
+	if len(got) != len(want) {
+		t.Fatalf("%d benchmarks, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Platform.Name != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, a.Platform.Name, want[i])
+		}
+		if a.Servers != 1 {
+			t.Errorf("%s servers = %d, want 1", a.Platform.Name, a.Servers)
+		}
+	}
+}
+
+func TestLightningComputeFastest(t *testing.T) {
+	// 576 MACs at 97 GHz out-rates every baseline's sustained MAC rate, so
+	// Lightning's pure compute latency is the lowest on any model.
+	m := model.LeNet300100()
+	l := NewLightning().Compute(m)
+	if l <= 0 {
+		t.Fatalf("Lightning compute = %v", l)
+	}
+	for _, a := range Benchmarks() {
+		if c := a.Compute(m); c <= l {
+			t.Errorf("%s compute %v not above Lightning's %v", a.Platform.Name, c, l)
+		}
+	}
+}
+
+func TestDatapathModels(t *testing.T) {
+	m := model.LeNet300100()
+	// Lightning's datapath charge is per sequential layer.
+	if d := NewLightning().Datapath(m); d != time.Duration(m.SequentialLayers())*LightningLayerLatency {
+		t.Errorf("Lightning datapath = %v", d)
+	}
+	// Table 6 grants A100X and Brainwave an ideal zero datapath latency.
+	if d := NewA100X().Datapath(m); d != 0 {
+		t.Errorf("A100X datapath = %v, want 0", d)
+	}
+	if d := NewBrainwave().Datapath(m); d != 0 {
+		t.Errorf("Brainwave datapath = %v, want 0", d)
+	}
+	// The A100 Triton path is hundreds of microseconds even for unknown
+	// models.
+	if d := NewA100().Datapath(&model.Model{Name: "unlisted"}); d < 100*time.Microsecond {
+		t.Errorf("A100 fallback datapath = %v", d)
+	}
+}
+
+func TestBreakdownEndToEndIsSum(t *testing.T) {
+	b := Breakdown{Compute: 3 * time.Millisecond, Datapath: 2 * time.Millisecond}
+	if b.EndToEnd() != 5*time.Millisecond {
+		t.Errorf("EndToEnd = %v", b.EndToEnd())
+	}
+	for _, m := range []*model.Model{model.LeNet300100()} {
+		p := PrototypeLatency(m)
+		if p.EndToEnd() != p.Compute+p.Datapath {
+			t.Error("prototype breakdown does not sum")
+		}
+		tr := TritonLatency("A100", m)
+		if tr.EndToEnd() != tr.Compute+tr.Datapath {
+			t.Error("Triton breakdown does not sum")
+		}
+	}
+}
+
+func TestStopAndGoDominatedByInstrumentOverhead(t *testing.T) {
+	// Every layer pays software prep, AWG arm, digitizer read and post-
+	// processing: even with zero jitter the per-layer floor is their sum,
+	// which dwarfs both transfer and analog compute time.
+	cfg := DefaultStopAndGo()
+	cfg.Jitter = 0
+	m := model.LeNet300100()
+	rng := rand.New(rand.NewPCG(1, 1))
+	lat := cfg.InferenceLatency(m, rng)
+	layers := 0
+	for _, l := range m.Layers {
+		if l.MACs() > 0 {
+			layers++
+		}
+	}
+	floor := time.Duration(layers) * (cfg.SoftwarePrep + cfg.AWGArm + cfg.DigitizerRead + cfg.PostProcess)
+	if lat < floor {
+		t.Errorf("latency %v below instrument floor %v", lat, floor)
+	}
+	// Jitter only ever lengthens the run.
+	cfg.Jitter = 0.5
+	if j := cfg.InferenceLatency(m, rng); j < lat {
+		t.Errorf("jittered latency %v below jitterless %v", j, lat)
+	}
+	// And the whole pipeline sits orders of magnitude above Lightning's.
+	if ratio := float64(lat) / float64(PrototypeLatency(m).EndToEnd()); ratio < 1e3 {
+		t.Errorf("stop-and-go / prototype = %.2g, want ≫1e3", ratio)
+	}
+}

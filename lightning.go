@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/lightning-smartnic/lightning/internal/dagloader"
@@ -64,27 +65,61 @@ type Config struct {
 	// Seed drives every stochastic element (noise, ADC phase, DRAM
 	// jitter) for reproducible runs.
 	Seed uint64
+	// Cores is the number of replicated photonic-core + datapath shards.
+	// The §6 prototype is a single core (the default, 1, reproduces it
+	// bit-for-bit for a fixed Seed); §7's chip design replicates the core
+	// to scale throughput, with every core reading the same off-chip
+	// weight memory. Each shard owns its own photonic core, datapath
+	// engine and DAG loader registers, so concurrent queries run truly in
+	// parallel; the DRAM weight store and model registry are shared.
+	Cores int
 }
 
 // DefaultConfig matches the §6 prototype.
 func DefaultConfig() Config { return Config{Lanes: 2, Seed: 1} }
 
-// NIC is a Lightning smartNIC instance.
-type NIC struct {
-	mu sync.Mutex
+// shardSeedStride spaces per-shard seeds so replicated cores draw
+// decorrelated noise and ADC phase. Shard 0 uses exactly Config.Seed, which
+// keeps Cores=1 output bit-identical to the historical single-core path.
+const shardSeedStride = 1000
 
-	parser     *nic.Parser
-	loader     *dagloader.Loader
-	link       *nic.Link
-	reassembly *nic.Reassembler
-	tap        *pcap.Writer
+// shard is one replicated photonic core + datapath engine + loader
+// pipeline. A shard serves one query at a time (its mutex stands in for the
+// hardware pipeline's occupancy); different shards run concurrently.
+type shard struct {
+	mu     sync.Mutex
+	loader *dagloader.Loader
 
-	// Served counts completed inference responses.
-	Served uint64
-
-	// totals aggregates datapath cycle accounting across served queries.
+	// totals aggregates datapath cycle accounting across this shard's
+	// served queries (guarded by mu).
 	totals datapath.LayerStats
 }
+
+// NIC is a Lightning smartNIC instance. All exported methods are safe for
+// concurrent use: frames, messages and metric scrapes may arrive from any
+// number of goroutines.
+type NIC struct {
+	parser     *nic.Parser
+	link       *nic.Link
+	reassembly *nic.Reassembler
+
+	store  *dagloader.Store
+	shards []*shard
+	// next drives round-robin query dispatch across shards.
+	next atomic.Uint64
+
+	// served counts completed inference responses.
+	served atomic.Uint64
+
+	tapMu sync.Mutex
+	tap   *pcap.Writer
+}
+
+// Served returns the completed inference response count.
+func (n *NIC) Served() uint64 { return n.served.Load() }
+
+// Cores returns the number of photonic-core shards.
+func (n *NIC) Cores() int { return len(n.shards) }
 
 // Metrics is an operational snapshot of the NIC, the counters a deployment
 // would scrape.
@@ -112,31 +147,34 @@ type Metrics struct {
 
 // Metrics returns a consistent snapshot.
 func (n *NIC) Metrics() Metrics {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return Metrics{
-		Served:            n.Served,
-		Parser:            n.parser.Stats,
-		Reconfigurations:  n.loader.Reconfigurations,
-		PhotonicSteps:     n.totals.PhotonicSteps,
-		ComputeCycles:     n.totals.ComputeCycles,
-		DatapathCycles:    n.totals.DatapathCycles,
-		PreambleMisses:    n.totals.PreambleMisses,
-		DRAMReads:         n.loader.DRAM.Reads,
-		DRAMReadBytes:     n.loader.DRAM.ReadBytes,
-		TxFrames:          n.link.TxFrames,
-		TxBytes:           n.link.TxBytes,
+	m := Metrics{
+		Served:            n.Served(),
+		Parser:            n.parser.Stats(),
+		DRAMReads:         n.store.DRAM.Reads(),
+		DRAMReadBytes:     n.store.DRAM.ReadBytes(),
+		TxFrames:          n.link.TxFrames(),
+		TxBytes:           n.link.TxBytes(),
 		PendingReassembly: n.reassembly.Pending(),
-		ReassemblyDrops:   n.reassembly.Drops,
+		ReassemblyDrops:   n.reassembly.Drops(),
 	}
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		m.Reconfigurations += sh.loader.Reconfigurations
+		m.PhotonicSteps += sh.totals.PhotonicSteps
+		m.ComputeCycles += sh.totals.ComputeCycles
+		m.DatapathCycles += sh.totals.DatapathCycles
+		m.PreambleMisses += sh.totals.PreambleMisses
+		sh.mu.Unlock()
+	}
+	return m
 }
 
 // Tap attaches a pcap capture to the frame path: every frame offered to
 // HandleFrame and every response frame it emits is recorded. Pass nil to
 // detach.
 func (n *NIC) Tap(w io.Writer) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.tapMu.Lock()
+	defer n.tapMu.Unlock()
 	if w == nil {
 		n.tap = nil
 		return
@@ -145,35 +183,47 @@ func (n *NIC) Tap(w io.Writer) {
 }
 
 func (n *NIC) capture(frame []byte) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.tapMu.Lock()
+	defer n.tapMu.Unlock()
 	if n.tap != nil {
 		// Capture failures must never affect the datapath.
 		_ = n.tap.WritePacket(time.Now(), frame)
 	}
 }
 
-// New builds a NIC: calibrated photonic core, datapath engine, DDR4 weight
-// store, packet parser with flow tracking and intrusion detection.
+// New builds a NIC: calibrated photonic core(s), one datapath engine per
+// core, a shared DDR4 weight store, and a packet parser with flow tracking
+// and intrusion detection.
 func New(cfg Config) (*NIC, error) {
 	if cfg.Lanes <= 0 {
 		cfg.Lanes = 2
 	}
-	var noise *photonic.NoiseModel
-	if !cfg.Noiseless {
-		noise = photonic.CalibratedNoise(cfg.Seed)
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = 1
 	}
-	core, err := photonic.NewCore(cfg.Lanes, noise)
+	pcores, err := photonic.NewCoreArray(cores, cfg.Lanes, func(i int) *photonic.NoiseModel {
+		if cfg.Noiseless {
+			return nil
+		}
+		return photonic.CalibratedNoise(cfg.Seed + shardSeedStride*uint64(i))
+	})
 	if err != nil {
-		return nil, fmt.Errorf("lightning: building photonic core: %w", err)
+		return nil, fmt.Errorf("lightning: building photonic cores: %w", err)
 	}
-	engine := datapath.NewEngine(core, cfg.Seed+1)
 	dram := mem.New(mem.DDR4Spec(), cfg.Seed+2)
+	store := dagloader.NewStore(dram)
+	shards := make([]*shard, cores)
+	for i, core := range pcores {
+		engine := datapath.NewEngine(core, cfg.Seed+shardSeedStride*uint64(i)+1)
+		shards[i] = &shard{loader: dagloader.NewLoaderWithStore(engine, store)}
+	}
 	return &NIC{
 		parser:     nic.NewParser(),
-		loader:     dagloader.NewLoader(engine, dram),
 		link:       nic.NewLink(),
 		reassembly: nic.NewReassembler(256),
+		store:      store,
+		shards:     shards,
 	}, nil
 }
 
@@ -181,33 +231,31 @@ func New(cfg Config) (*NIC, error) {
 // Train or quantize your own nn.Network.
 type TrainedModel = nn.QuantizedNetwork
 
-// RegisterModel makes a quantized classifier servable under a wire model ID.
+// RegisterModel makes a quantized classifier servable under a wire model ID
+// on every core shard (the registry is shared).
 func (n *NIC) RegisterModel(id uint16, name string, q *TrainedModel) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.loader.RegisterModel(id, name, q)
+	return n.shards[0].loader.RegisterModel(id, name, q)
 }
 
 // UpdateModel atomically replaces a registered model's parameters — the
 // §6.1 PCIe update path. Queries in flight complete against the old
 // version; subsequent queries use the new one.
 func (n *NIC) UpdateModel(id uint16, q *TrainedModel) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.loader.UpdateModel(id, q)
+	return n.shards[0].loader.UpdateModel(id, q)
 }
 
 // HandleMessage serves one inference query (already parsed from the wire)
 // through the photonic datapath and returns the response. Fragmented
 // queries (large vision inputs, §4/Table 6) accumulate in the packet
 // assembler; non-final fragments return (nil, nil).
+//
+// Queries dispatch round-robin across the core shards; with Cores > 1,
+// concurrent callers run inference truly in parallel.
 func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	if msg.IsResponse() {
 		return nil, fmt.Errorf("lightning: received a response message")
 	}
-	n.mu.Lock()
 	query, modelID, done, err := n.reassembly.Offer(msg)
-	n.mu.Unlock()
 	if err != nil {
 		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
 	}
@@ -219,13 +267,14 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 		input[i] = Code(b)
 	}
 	msg = &Message{Flags: msg.Flags, RequestID: msg.RequestID, ModelID: modelID, Payload: query}
-	n.mu.Lock()
-	res, err := n.loader.Serve(msg.ModelID, input)
+	sh := n.shards[(n.next.Add(1)-1)%uint64(len(n.shards))]
+	sh.mu.Lock()
+	res, err := sh.loader.Serve(msg.ModelID, input)
 	if err == nil {
-		n.Served++
-		n.totals.Add(res.Stats)
+		n.served.Add(1)
+		sh.totals.Add(res.Stats)
 	}
-	n.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
 	}
@@ -280,4 +329,4 @@ func (n *NIC) HandleFrame(frame []byte) ([]byte, Verdict, error) {
 }
 
 // Stats exposes parser counters for monitoring.
-func (n *NIC) Stats() nic.ParserStats { return n.parser.Stats }
+func (n *NIC) Stats() nic.ParserStats { return n.parser.Stats() }

@@ -65,8 +65,8 @@ func TestNICHandleMessage(t *testing.T) {
 	if agree < total*8/10 {
 		t.Errorf("photonic/digital agreement = %d/%d", agree, total)
 	}
-	if n.Served != uint64(total) {
-		t.Errorf("Served = %d", n.Served)
+	if n.Served() != uint64(total) {
+		t.Errorf("Served = %d", n.Served())
 	}
 }
 
@@ -368,8 +368,8 @@ func TestServeUDPWorkersConcurrentClients(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Errorf("ServeUDPWorkers returned %v", err)
 	}
-	if n.Served != clients*perClient {
-		t.Errorf("Served = %d, want %d", n.Served, clients*perClient)
+	if n.Served() != clients*perClient {
+		t.Errorf("Served = %d, want %d", n.Served(), clients*perClient)
 	}
 }
 

@@ -1,0 +1,152 @@
+package lightning
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/dagloader"
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+func TestCoresDefaults(t *testing.T) {
+	n, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cores() != 1 {
+		t.Errorf("default Cores = %d, want 1", n.Cores())
+	}
+	n4, err := New(Config{Lanes: 2, Seed: 1, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n4.Cores() != 4 {
+		t.Errorf("Cores = %d, want 4", n4.Cores())
+	}
+}
+
+// TestCoresOneBitIdentical pins the single-core seed derivation: a Cores=1
+// NIC must produce bit-identical results to a hand-built single pipeline
+// using the historical seeds (noise=Seed, engine=Seed+1, DRAM=Seed+2), so
+// the sharded serve path cannot silently change §6 prototype outputs.
+func TestCoresOneBitIdentical(t *testing.T) {
+	q, test := trainedModel(t)
+	const seed = 42
+
+	n, err := New(Config{Lanes: 2, Seed: seed, Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(1, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+
+	core, err := photonic.NewCore(2, photonic.CalibratedNoise(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dagloader.NewLoader(datapath.NewEngine(core, seed+1), mem.New(mem.DDR4Spec(), seed+2))
+	if err := ref.RegisterModel(1, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		x := test.Examples[i].X
+		payload := make([]byte, len(x))
+		for j, c := range x {
+			payload[j] = byte(c)
+		}
+		resp, err := n.HandleMessage(&Message{RequestID: uint32(i), ModelID: 1, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Serve(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(resp.Class) != want.Class {
+			t.Fatalf("query %d: class %d, reference %d", i, resp.Class, want.Class)
+		}
+		if len(resp.Probs) != len(want.Probs) {
+			t.Fatalf("query %d: %d probs, reference %d", i, len(resp.Probs), len(want.Probs))
+		}
+		for j, p := range resp.Probs {
+			if p != uint8(want.Probs[j]) {
+				t.Fatalf("query %d prob %d: %d, reference %d", i, j, p, uint8(want.Probs[j]))
+			}
+		}
+	}
+}
+
+// TestMultiCoreServing checks a Cores>1 NIC end to end: every query is
+// answered, per-shard counters aggregate in Metrics, and round-robin
+// dispatch exercises every shard.
+func TestMultiCoreServing(t *testing.T) {
+	q, test := trainedModel(t)
+	n, err := New(Config{Lanes: 2, Seed: 7, Cores: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(1, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+	layers := len(q.Layers)
+	agree := 0
+	const total = 30
+	for i := 0; i < total; i++ {
+		x := test.Examples[i].X
+		payload := make([]byte, len(x))
+		for j, c := range x {
+			payload[j] = byte(c)
+		}
+		resp, err := n.HandleMessage(&Message{RequestID: uint32(i), ModelID: 1, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		digital, _ := q.Infer(x)
+		if int(resp.Class) == digital {
+			agree++
+		}
+	}
+	if agree < total*8/10 {
+		t.Errorf("photonic/digital agreement = %d/%d", agree, total)
+	}
+	if n.Served() != total {
+		t.Errorf("Served = %d, want %d", n.Served(), total)
+	}
+	m := n.Metrics()
+	if m.Reconfigurations != uint64(total*layers) {
+		t.Errorf("Reconfigurations = %d, want %d (aggregated across shards)",
+			m.Reconfigurations, total*layers)
+	}
+	if m.PhotonicSteps == 0 || m.DatapathCycles == 0 {
+		t.Error("per-shard datapath totals did not aggregate")
+	}
+}
+
+// TestMultiCoreModelUpdate checks that a model registered or updated through
+// the shared store is visible to every shard.
+func TestMultiCoreModelUpdate(t *testing.T) {
+	q, test := trainedModel(t)
+	n, err := New(Config{Lanes: 2, Seed: 5, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(1, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.UpdateModel(1, q); err != nil {
+		t.Fatal(err)
+	}
+	// Serve one query per shard (round-robin alternates between the two).
+	for i := 0; i < 2; i++ {
+		payload := make([]byte, len(test.Examples[i].X))
+		for j, c := range test.Examples[i].X {
+			payload[j] = byte(c)
+		}
+		if _, err := n.HandleMessage(&Message{RequestID: uint32(i), ModelID: 1, Payload: payload}); err != nil {
+			t.Fatalf("query %d after update: %v", i, err)
+		}
+	}
+}

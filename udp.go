@@ -56,11 +56,13 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 
 // ServeUDPWorkers is ServeUDP with a worker pool: one reader goroutine
 // feeds decoded messages to workers that run the datapath and write
-// responses. The photonic datapath itself is a single shared resource (one
-// core, one set of control registers) so inference serializes on the NIC's
-// internal lock — exactly as the hardware pipeline serializes at the
-// photonic core — but packet decode, reassembly bookkeeping and response
-// I/O overlap across workers.
+// responses. Each query dispatches round-robin to one of the NIC's core
+// shards (Config.Cores); a shard serves one query at a time — the hardware
+// pipeline serializes at its photonic core — so with Cores=1 inference
+// itself serializes while packet decode, reassembly bookkeeping and
+// response I/O still overlap across workers, and with Cores=N up to N
+// queries run through the photonics truly in parallel. Sizing workers at or
+// above Cores keeps every shard busy.
 func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers int) error {
 	if workers < 1 {
 		workers = 1
