@@ -5,9 +5,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	lightning "github.com/lightning-smartnic/lightning"
 	"github.com/lightning-smartnic/lightning/internal/stats"
@@ -18,6 +20,9 @@ func main() {
 	modelName := flag.String("model", "anomaly", "model to query: anomaly | iot | digits")
 	n := flag.Int("n", 100, "number of queries")
 	seed := flag.Uint64("seed", 99, "dataset seed (use one the server didn't train on)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt round-trip timeout")
+	retries := flag.Int("retries", 2, "resend attempts after a timeout (lost fragments/responses)")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
 	flag.Parse()
 
 	var set *lightning.Dataset
@@ -38,16 +43,20 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.Timeout = *timeout
+	client.Retries = *retries
+	client.RetryBackoff = *backoff
 
 	var latencies []float64
 	correct := 0
 	for i, ex := range set.Examples {
 		resp, rtt, err := client.Infer(id, ex.X)
+		var se *lightning.ServerError
+		if errors.As(err, &se) {
+			log.Fatalf("query %d: %v (is model %q registered?)", i, se, *modelName)
+		}
 		if err != nil {
 			log.Fatalf("query %d: %v", i, err)
-		}
-		if resp.Err {
-			log.Fatalf("query %d: server error (is model %q registered?)", i, *modelName)
 		}
 		if int(resp.Class) == ex.Label {
 			correct++

@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	lightning "github.com/lightning-smartnic/lightning"
 )
@@ -27,6 +28,8 @@ func main() {
 	savePath := flag.String("save", "", "save the trained model to this file")
 	workers := flag.Int("workers", 1, "UDP worker pool size")
 	cores := flag.Int("cores", 1, "photonic core shards (1 = the §6 prototype)")
+	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 disables)")
+	reassemblyTTL := flag.Duration("reassembly-ttl", 0, "partial-query reassembly TTL (0 = default)")
 	flag.Parse()
 
 	var train *lightning.Dataset
@@ -83,7 +86,10 @@ func main() {
 		log.Printf("saved model to %s", *savePath)
 	}
 
-	nic, err := lightning.New(lightning.Config{Lanes: 2, Noiseless: *noiseless, Seed: *seed, Cores: *cores})
+	nic, err := lightning.New(lightning.Config{
+		Lanes: 2, Noiseless: *noiseless, Seed: *seed, Cores: *cores,
+		ReassemblyTTL: *reassemblyTTL,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,6 +107,29 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	statsLine := func(m lightning.Metrics) string {
+		return fmt.Sprintf(
+			"served %d | pending reassembly %d (drops %d, expired %d) | queue-full %d, decode-err %d, write-err %d | tx %d frames / %d bytes",
+			m.Served, m.PendingReassembly, m.ReassemblyDrops, m.ReassemblyExpired,
+			m.Serve.QueueFull, m.Serve.DecodeErrors, m.Serve.WriteErrors,
+			m.TxFrames, m.TxBytes)
+	}
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					log.Print(statsLine(nic.Metrics()))
+				}
+			}
+		}()
+	}
+
 	var serveErr error
 	if *workers > 1 {
 		serveErr = nic.ServeUDPWorkers(ctx, pc, *workers)
@@ -110,5 +139,13 @@ func main() {
 	if serveErr != nil {
 		log.Fatal(serveErr)
 	}
+	// The serve loops drain accepted work before returning; a bounded
+	// final Drain guards any stragglers from other entry points.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := nic.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	log.Print("final: ", statsLine(nic.Metrics()))
 	fmt.Printf("served %d inference queries\n", nic.Served())
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Query fragmentation. Table 6's vision queries are 150 KB — larger than a
@@ -28,6 +29,12 @@ const (
 	// under Ethernet/IPv4/UDP/Lightning headers.
 	MaxFragPayload = 1400
 )
+
+// DefaultReassemblyTTL bounds how long a partial query may sit in the
+// reassembly table waiting for its missing fragments. The timer starts at
+// the first fragment (as IP reassembly's does): a query whose fragments were
+// lost in flight is evicted rather than pinning a table slot forever.
+const DefaultReassemblyTTL = 5 * time.Second
 
 // Fragment splits a large query into fragment messages sharing the request
 // ID. Queries that already fit return a single unfragmented message.
@@ -66,38 +73,111 @@ func Fragment(requestID uint32, modelID uint16, query []byte, maxPayload int) ([
 	return msgs, nil
 }
 
+// span is one contiguous byte range [lo, hi) of a query already received.
+type span struct{ lo, hi int }
+
 // partialQuery tracks one in-flight reassembly.
 type partialQuery struct {
-	modelID  uint16
-	total    int
-	received int          // distinct bytes received so far
-	have     map[int]bool // fragment start offsets already applied
-	buf      []byte
+	modelID uint16
+	total   int
+	// spans holds the merged byte-coverage intervals, sorted and disjoint.
+	// Coverage is tracked by interval merge, not by summing fragment
+	// lengths: overlapping retransmissions must not double-count and
+	// release a query with zero-filled holes.
+	spans []span
+	buf   []byte
+	// deadline is when this entry expires, fixed at creation (the
+	// reassembly timer starts with the first fragment).
+	deadline time.Time
+}
+
+// cover merges [lo, hi) into the coverage intervals.
+func (pq *partialQuery) cover(lo, hi int) {
+	merged := make([]span, 0, len(pq.spans)+1)
+	i := 0
+	for ; i < len(pq.spans) && pq.spans[i].hi < lo; i++ {
+		merged = append(merged, pq.spans[i])
+	}
+	for ; i < len(pq.spans) && pq.spans[i].lo <= hi; i++ {
+		if pq.spans[i].lo < lo {
+			lo = pq.spans[i].lo
+		}
+		if pq.spans[i].hi > hi {
+			hi = pq.spans[i].hi
+		}
+	}
+	merged = append(merged, span{lo, hi})
+	pq.spans = append(merged, pq.spans[i:]...)
+}
+
+// complete reports whether every byte of the query has arrived.
+func (pq *partialQuery) complete() bool {
+	return len(pq.spans) == 1 && pq.spans[0].lo == 0 && pq.spans[0].hi == pq.total
+}
+
+// covered returns the distinct byte count received so far.
+func (pq *partialQuery) covered() int {
+	n := 0
+	for _, s := range pq.spans {
+		n += s.hi - s.lo
+	}
+	return n
 }
 
 // Reassembler is the packet assembler's reassembly buffer: it collects
 // fragments by request ID and releases the complete query. Entries are
-// bounded; when full, the oldest in-flight query is discarded (a hardware
-// reassembly table's behaviour under pressure). All methods are safe for
-// concurrent use: fragments of distinct requests arrive interleaved across
-// worker goroutines.
+// bounded two ways: when the table is full the oldest in-flight query is
+// discarded (a hardware reassembly table's behaviour under pressure), and
+// every entry carries a deadline — TTL past its first fragment — after which
+// it is expired, so partial queries from lost fragments cannot pin slots
+// forever. All methods are safe for concurrent use: fragments of distinct
+// requests arrive interleaved across worker goroutines.
 type Reassembler struct {
 	mu      sync.Mutex
 	cap     int
+	ttl     time.Duration
+	now     func() time.Time
 	pending map[uint32]*partialQuery
-	order   []uint32
+	// order lists request IDs oldest-first. Deadlines are fixed at entry
+	// creation with a constant TTL, so creation order is deadline order and
+	// expiry sweeps only the head.
+	order []uint32
 
 	// drops counts discarded in-flight queries (table pressure or
-	// inconsistent fragments).
-	drops uint64
+	// inconsistent fragments); expired counts deadline evictions.
+	drops   uint64
+	expired uint64
 }
 
-// NewReassembler builds a table bounded to capacity in-flight queries.
+// NewReassembler builds a table bounded to capacity in-flight queries with
+// the default TTL.
 func NewReassembler(capacity int) *Reassembler {
+	return NewReassemblerTTL(capacity, DefaultReassemblyTTL)
+}
+
+// NewReassemblerTTL builds a table bounded to capacity in-flight queries
+// whose entries expire ttl after their first fragment.
+func NewReassemblerTTL(capacity int, ttl time.Duration) *Reassembler {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &Reassembler{cap: capacity, pending: make(map[uint32]*partialQuery)}
+	if ttl <= 0 {
+		ttl = DefaultReassemblyTTL
+	}
+	return &Reassembler{
+		cap:     capacity,
+		ttl:     ttl,
+		now:     time.Now,
+		pending: make(map[uint32]*partialQuery),
+	}
+}
+
+// SetClock replaces the reassembler's time source (tests drive expiry with a
+// logical clock instead of waiting out real TTLs).
+func (r *Reassembler) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
 }
 
 // Pending returns the in-flight query count.
@@ -107,20 +187,56 @@ func (r *Reassembler) Pending() int {
 	return len(r.pending)
 }
 
-// Drops returns the discarded in-flight query count.
+// Drops returns the discarded in-flight query count (capacity pressure and
+// inconsistent fragments; TTL evictions count separately in Expired).
 func (r *Reassembler) Drops() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.drops
 }
 
+// Expired returns the count of in-flight queries evicted by deadline.
+func (r *Reassembler) Expired() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.expired
+}
+
+// GC evicts every entry past its deadline and returns how many it removed.
+// Offer runs the same sweep; GC exists so an idle serve loop still expires
+// stale entries when no fragments arrive.
+func (r *Reassembler) GC() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gc()
+}
+
+// gc sweeps expired entries from the head of the creation order; callers
+// hold r.mu.
+func (r *Reassembler) gc() int {
+	now := r.now()
+	n := 0
+	for len(r.order) > 0 {
+		pq := r.pending[r.order[0]]
+		if pq.deadline.After(now) {
+			break
+		}
+		delete(r.pending, r.order[0])
+		r.order = r.order[1:]
+		r.expired++
+		n++
+	}
+	return n
+}
+
 // Offer consumes one message. Unfragmented queries pass straight through as
-// (query, true). Fragments accumulate; the final fragment of a request
-// releases the assembled query. Inconsistent fragments drop the whole
-// request.
+// (query, true). Fragments accumulate; the fragment that completes byte
+// coverage of a request releases the assembled query. Inconsistent fragments
+// drop the whole request.
 func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gc()
 	if m.Flags&FlagFragment == 0 {
 		return m.Payload, m.ModelID, true, nil
 	}
@@ -143,10 +259,10 @@ func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool
 			r.drops++
 		}
 		pq = &partialQuery{
-			modelID: m.ModelID,
-			total:   total,
-			have:    make(map[int]bool),
-			buf:     make([]byte, total),
+			modelID:  m.ModelID,
+			total:    total,
+			buf:      make([]byte, total),
+			deadline: r.now().Add(r.ttl),
 		}
 		r.pending[m.RequestID] = pq
 		r.order = append(r.order, m.RequestID)
@@ -162,12 +278,9 @@ func (r *Reassembler) Offer(m *Message) (query []byte, modelID uint16, done bool
 		r.drops++
 		return nil, 0, false, fmt.Errorf("nic: fragment [%d,%d) overflows %d-byte query", lo, hi, total)
 	}
-	if !pq.have[lo] {
-		copy(pq.buf[lo:hi], body)
-		pq.have[lo] = true
-		pq.received += len(body)
-	}
-	if pq.received < pq.total {
+	copy(pq.buf[lo:hi], body)
+	pq.cover(lo, hi)
+	if !pq.complete() {
 		return nil, 0, false, nil
 	}
 	r.remove(m.RequestID)

@@ -2,9 +2,11 @@ package nic
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestFragmentSmallQueryPassesThrough(t *testing.T) {
@@ -210,6 +212,139 @@ func TestFragmentTooManyFragments(t *testing.T) {
 	// A query needing >65535 fragments must be rejected.
 	if _, err := Fragment(1, 1, make([]byte, 70000), FragHeaderLen+1); err == nil {
 		t.Error("oversized fragmentation accepted")
+	}
+}
+
+// frag hand-builds one fragment message with an arbitrary offset — the
+// adversarial/overlapping patterns Fragment itself never produces.
+func frag(reqID uint32, modelID uint16, lo, total int, body []byte) *Message {
+	payload := make([]byte, FragHeaderLen+len(body))
+	binary.BigEndian.PutUint32(payload[0:4], uint32(lo))
+	binary.BigEndian.PutUint32(payload[4:8], uint32(total))
+	copy(payload[FragHeaderLen:], body)
+	return &Message{Flags: FlagFragment, RequestID: reqID, ModelID: modelID, Payload: payload}
+}
+
+// TestReassemblerOverlappingFragmentsNoHoles is the regression test for the
+// coverage double-count bug: fragments [0,100) and [50,150) of a 200-byte
+// query sum to 200 received bytes, but bytes [150,200) never arrived. The
+// reassembler must track actual byte coverage and hold the query until the
+// gap is filled — never release it with zero-filled holes.
+func TestReassemblerOverlappingFragmentsNoHoles(t *testing.T) {
+	const total = 200
+	want := make([]byte, total)
+	for i := range want {
+		want[i] = byte(i + 1)
+	}
+	r := NewReassembler(4)
+	if _, _, done, err := r.Offer(frag(1, 7, 0, total, want[0:100])); done || err != nil {
+		t.Fatalf("first fragment: done=%v err=%v", done, err)
+	}
+	if _, _, done, err := r.Offer(frag(1, 7, 50, total, want[50:150])); done || err != nil {
+		t.Fatalf("overlapping fragment released a query with a hole: done=%v err=%v", done, err)
+	}
+	q, id, done, err := r.Offer(frag(1, 7, 150, total, want[150:200]))
+	if err != nil || !done {
+		t.Fatalf("gap-filling fragment: done=%v err=%v", done, err)
+	}
+	if id != 7 || !bytes.Equal(q, want) {
+		t.Fatalf("reassembled query differs (model %d)", id)
+	}
+}
+
+// TestReassemblerGappedAndDuplicateOffsets drives heavier overlap patterns:
+// duplicate offsets, nested intervals and out-of-order gap fills. Release
+// happens exactly when the last uncovered byte arrives.
+func TestReassemblerGappedAndDuplicateOffsets(t *testing.T) {
+	const total = 1000
+	want := make([]byte, total)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	r := NewReassembler(4)
+	pieces := []struct{ lo, hi int }{
+		{900, 1000}, {0, 300}, {100, 250}, {0, 300}, {250, 600},
+		{550, 650}, {899, 950}, {640, 890},
+	}
+	for _, p := range pieces {
+		if _, _, done, err := r.Offer(frag(3, 1, p.lo, total, want[p.lo:p.hi])); done || err != nil {
+			t.Fatalf("piece [%d,%d): done=%v err=%v", p.lo, p.hi, done, err)
+		}
+	}
+	// Only [890,899) is missing now.
+	q, _, done, err := r.Offer(frag(3, 1, 890, total, want[890:899]))
+	if err != nil || !done {
+		t.Fatalf("final gap fill: done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(q, want) {
+		t.Fatal("reassembled query differs after overlapping delivery")
+	}
+	if r.Pending() != 0 {
+		t.Errorf("pending = %d", r.Pending())
+	}
+}
+
+// TestReassemblerTTLExpiry drives the deadline eviction with a logical
+// clock: a partial query whose remaining fragments never arrive is expired
+// TTL after its first fragment — freeing its slot and counting in Expired,
+// not Drops — and its late fragments re-open an entry that cannot complete.
+func TestReassemblerTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewReassemblerTTL(8, time.Second)
+	r.SetClock(func() time.Time { return now })
+
+	msgs, _ := Fragment(5, 1, make([]byte, 3000), 512)
+	if _, _, done, err := r.Offer(msgs[0]); done || err != nil {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	// Just before the deadline the entry survives an explicit sweep.
+	now = now.Add(time.Second - time.Nanosecond)
+	if n := r.GC(); n != 0 || r.Pending() != 1 {
+		t.Fatalf("premature expiry: gc=%d pending=%d", n, r.Pending())
+	}
+	// At the deadline it is evicted and counted as expired.
+	now = now.Add(time.Nanosecond)
+	if n := r.GC(); n != 1 {
+		t.Fatalf("gc = %d, want 1", n)
+	}
+	if r.Pending() != 0 || r.Expired() != 1 || r.Drops() != 0 {
+		t.Fatalf("pending=%d expired=%d drops=%d", r.Pending(), r.Expired(), r.Drops())
+	}
+	// The tail arriving after expiry re-opens an entry missing the first
+	// chunk: it must not complete, and it expires in turn.
+	for _, m := range msgs[1:] {
+		if _, _, done, err := r.Offer(m); done || err != nil {
+			t.Fatalf("expired query completed: done=%v err=%v", done, err)
+		}
+	}
+	now = now.Add(2 * time.Second)
+	r.GC()
+	if r.Pending() != 0 || r.Expired() != 2 {
+		t.Fatalf("pending=%d expired=%d after tail expiry", r.Pending(), r.Expired())
+	}
+}
+
+// TestReassemblerExpirySweepsLazily checks that Offer itself performs the
+// expiry sweep: stale entries of other requests are evicted by whatever
+// fragment arrives next, without an explicit GC call. The deadline is fixed
+// at the first fragment — later fragments do not extend it.
+func TestReassemblerExpirySweepsLazily(t *testing.T) {
+	now := time.Unix(2000, 0)
+	r := NewReassemblerTTL(8, time.Second)
+	r.SetClock(func() time.Time { return now })
+
+	stale, _ := Fragment(1, 1, make([]byte, 3000), 512)
+	r.Offer(stale[0])
+	// Progress at t+0.9s does not push the deadline out.
+	now = now.Add(900 * time.Millisecond)
+	r.Offer(stale[1])
+	now = now.Add(200 * time.Millisecond) // t+1.1s: past the creation deadline
+	fresh, _ := Fragment(2, 1, make([]byte, 3000), 512)
+	if _, _, done, err := r.Offer(fresh[0]); done || err != nil {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if r.Pending() != 1 || r.Expired() != 1 {
+		t.Fatalf("pending=%d expired=%d: stale entry not swept by Offer", r.Pending(), r.Expired())
 	}
 }
 

@@ -1,8 +1,10 @@
 package nic
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"testing"
+	"time"
 )
 
 // Fuzz targets: the parser and codecs face attacker-controlled bytes at
@@ -44,6 +46,55 @@ func FuzzParserParse(f *testing.F) {
 		case VerdictInference, VerdictForward, VerdictDrop:
 		default:
 			t.Fatalf("invalid verdict %v", out.Verdict)
+		}
+	})
+}
+
+// FuzzReassemblerLifecycle drives Offer with hand-built fragments at
+// arbitrary (overlapping, duplicate, out-of-range) offsets, interleaved
+// with logical-clock jumps that expire entries mid-reassembly. Invariants:
+// never panic, a released query always matches its declared total length,
+// the table never exceeds capacity, and a query is only released once full
+// byte coverage has actually arrived.
+func FuzzReassemblerLifecycle(f *testing.F) {
+	f.Add(uint32(1), uint32(0), uint32(64), uint32(32), uint32(32), uint32(128), uint8(0))
+	f.Add(uint32(2), uint32(0), uint32(100), uint32(50), uint32(100), uint32(200), uint8(1))
+	f.Add(uint32(3), uint32(0), uint32(10), uint32(0), uint32(10), uint32(10), uint8(2))
+	f.Fuzz(func(t *testing.T, reqID, lo1, len1, lo2, len2, total uint32, advance uint8) {
+		total %= 4096
+		len1 %= 512
+		len2 %= 512
+		now := time.Unix(5000, 0)
+		r := NewReassemblerTTL(4, time.Second)
+		r.SetClock(func() time.Time { return now })
+		build := func(lo, n uint32) *Message {
+			payload := make([]byte, FragHeaderLen+int(n))
+			binary.BigEndian.PutUint32(payload[0:4], lo)
+			binary.BigEndian.PutUint32(payload[4:8], total)
+			for i := range payload[FragHeaderLen:] {
+				payload[FragHeaderLen+i] = 0xab
+			}
+			return &Message{Flags: FlagFragment, RequestID: reqID, Payload: payload}
+		}
+		offer := func(m *Message) {
+			q, _, done, err := r.Offer(m)
+			if done && err == nil {
+				if m.Flags&FlagFragment != 0 && len(q) != int(total) {
+					t.Fatalf("released %d bytes, declared total %d", len(q), total)
+				}
+			}
+			if done && q == nil {
+				t.Fatal("done with nil query")
+			}
+		}
+		offer(build(lo1, len1))
+		// A clock jump between fragments may expire the entry; the second
+		// fragment (possibly overlapping or duplicate) then re-opens it.
+		now = now.Add(time.Duration(advance) * 100 * time.Millisecond)
+		offer(build(lo2, len2))
+		offer(build(lo1, len1)) // duplicate delivery
+		if r.Pending() > 4 {
+			t.Fatalf("pending %d exceeds capacity", r.Pending())
 		}
 	})
 }

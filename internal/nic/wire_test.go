@@ -138,3 +138,43 @@ func TestBuildQueryFrameParses(t *testing.T) {
 		t.Errorf("flow = %+v", out.Flow)
 	}
 }
+
+// TestBuildResponseFrameReversesTuple is the wire-level regression test for
+// the response-port bug: a response frame must leave InferencePort toward
+// the requester's ephemeral port, the exact reverse of the query tuple.
+func TestBuildResponseFrameReversesTuple(t *testing.T) {
+	resp := Response{RequestID: 42, ModelID: 1, Class: 3, Probs: []uint8{1, 2}}
+	frame, err := BuildResponseFrame(
+		Ethernet{Dst: testSrcMAC, Src: testDstMAC},
+		IPv4{Src: netip.MustParseAddr("192.0.2.2"), Dst: netip.MustParseAddr("192.0.2.1")},
+		9000, resp.ToMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		t.Fatal(err)
+	}
+	var ip IPv4
+	if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	var udp UDP
+	if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if udp.SrcPort != InferencePort || udp.DstPort != 9000 {
+		t.Errorf("response ports = %d->%d, want %d->9000", udp.SrcPort, udp.DstPort, InferencePort)
+	}
+	var m Message
+	if err := m.Decode(udp.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseResponse(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RequestID != 42 || got.Class != 3 {
+		t.Errorf("response = %+v", got)
+	}
+}

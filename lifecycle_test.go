@@ -1,0 +1,506 @@
+package lightning
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/nic"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+)
+
+// halvesModel hand-builds a cheap two-class classifier over `width` inputs
+// (each output neuron sums one half of the input) so lifecycle tests get a
+// servable model without paying for training. Correct reassembly is visible
+// in the answer: whichever half is bright wins.
+func halvesModel(width int) *TrainedModel {
+	mk := func(lo, hi int) []fixed.Signed {
+		row := make([]fixed.Signed, width)
+		for i := lo; i < hi; i++ {
+			row[i] = fixed.Signed{Mag: 255}
+		}
+		return row
+	}
+	return &TrainedModel{
+		Sizes: []int{width, 2},
+		Layers: []nn.QuantizedLayer{{
+			Weights: [][]fixed.Signed{mk(0, width/2), mk(width/2, width)},
+			Bias:    []fixed.Acc{0, 0},
+			Shift:   10,
+			Final:   true,
+			WScale:  fixed.Scale{Max: 1},
+		}},
+	}
+}
+
+type stubAddr struct{}
+
+func (stubAddr) Network() string { return "udp" }
+func (stubAddr) String() string  { return "stub:0" }
+
+type stubTimeout struct{}
+
+func (stubTimeout) Error() string   { return "stub: i/o timeout" }
+func (stubTimeout) Timeout() bool   { return true }
+func (stubTimeout) Temporary() bool { return true }
+
+// stubPacketConn feeds a fixed set of datagrams to the serve loop as fast
+// as it can read them, then times out forever — a deterministic stand-in
+// for a socket under burst load. Writes are recorded (and optionally fail,
+// or stall to hold a worker busy).
+type stubPacketConn struct {
+	mu    sync.Mutex
+	queue [][]byte
+
+	writes     atomic.Uint64
+	failWrites bool
+	writeDelay time.Duration
+}
+
+func (c *stubPacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	c.mu.Lock()
+	if len(c.queue) == 0 {
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return 0, nil, stubTimeout{}
+	}
+	d := c.queue[0]
+	c.queue = c.queue[1:]
+	c.mu.Unlock()
+	return copy(p, d), stubAddr{}, nil
+}
+
+func (c *stubPacketConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	if c.writeDelay > 0 {
+		time.Sleep(c.writeDelay)
+	}
+	if c.failWrites {
+		return 0, errors.New("stub: write refused")
+	}
+	c.writes.Add(1)
+	return len(p), nil
+}
+
+func (c *stubPacketConn) Close() error                     { return nil }
+func (c *stubPacketConn) LocalAddr() net.Addr              { return stubAddr{} }
+func (c *stubPacketConn) SetDeadline(time.Time) error      { return nil }
+func (c *stubPacketConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *stubPacketConn) SetWriteDeadline(time.Time) error { return nil }
+
+func encodeQuery(t *testing.T, id uint32, modelID uint16, payload []byte) []byte {
+	t.Helper()
+	raw, err := (&Message{RequestID: id, ModelID: modelID, Payload: payload}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestHandleFrameResponsePortRegression is the frame-path regression test
+// for the response-port bug: a client bound to an ephemeral port must get
+// the response frame on that port — the exact reversed five-tuple — not on
+// InferencePort at its own end.
+func TestHandleFrameResponsePortRegression(t *testing.T) {
+	const width = 64
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 5})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, width)
+	for i := width / 2; i < width; i++ {
+		payload[i] = 200
+	}
+	const ephemeral = 50123
+	frame, err := nic.BuildQueryFrame(
+		nic.Ethernet{Dst: nic.MAC{2, 0, 0, 0, 0, 2}, Src: nic.MAC{2, 0, 0, 0, 0, 1}},
+		nic.IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2")},
+		ephemeral,
+		&Message{RequestID: 21, ModelID: 4, Payload: payload},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, verdict, err := n.HandleFrame(frame)
+	if err != nil || verdict != VerdictInference {
+		t.Fatalf("verdict=%v err=%v", verdict, err)
+	}
+	var eth nic.Ethernet
+	if err := eth.DecodeFromBytes(out); err != nil {
+		t.Fatal(err)
+	}
+	var ip nic.IPv4
+	if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	var udp nic.UDP
+	if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if eth.Dst != (nic.MAC{2, 0, 0, 0, 0, 1}) || ip.Dst != netip.MustParseAddr("10.0.0.1") {
+		t.Errorf("response addressed to %v / %v", eth.Dst, ip.Dst)
+	}
+	if udp.SrcPort != nic.InferencePort || udp.DstPort != ephemeral {
+		t.Errorf("response ports = %d->%d, want %d->%d",
+			udp.SrcPort, udp.DstPort, nic.InferencePort, ephemeral)
+	}
+	var reply Message
+	if err := reply.Decode(udp.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := nic.ParseResponse(&reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Class != 1 {
+		t.Errorf("class = %d, want 1 (second half bright)", resp.Class)
+	}
+}
+
+// TestHandleFrameErrorResponseFrame: a datapath failure on the frame path
+// must emit an Err-flagged response frame back to the requester's port —
+// the same visibility UDP clients get — alongside the error, not silence.
+func TestHandleFrameErrorResponseFrame(t *testing.T) {
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 6})
+	frame, err := nic.BuildQueryFrame(
+		nic.Ethernet{Dst: nic.MAC{2, 0, 0, 0, 0, 2}, Src: nic.MAC{2, 0, 0, 0, 0, 1}},
+		nic.IPv4{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2")},
+		40001,
+		&Message{RequestID: 8, ModelID: 99, Payload: []byte{1, 2, 3}}, // unregistered model
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, verdict, herr := n.HandleFrame(frame)
+	if herr == nil {
+		t.Fatal("unknown model produced no error")
+	}
+	if verdict != VerdictInference || out == nil {
+		t.Fatalf("error response frame missing: verdict=%v out=%v", verdict, out)
+	}
+	parsed := nic.NewParser().Parse(out)
+	// The response targets the client's ephemeral port, so a parser sees a
+	// non-inference UDP frame; decode the message directly.
+	var eth nic.Ethernet
+	if err := eth.DecodeFromBytes(out); err != nil {
+		t.Fatal(err)
+	}
+	var ip nic.IPv4
+	if err := ip.DecodeFromBytes(eth.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	var udp nic.UDP
+	if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if udp.DstPort != 40001 {
+		t.Errorf("error response port = %d, want 40001 (parser verdict %v)", udp.DstPort, parsed.Verdict)
+	}
+	var reply Message
+	if err := reply.Decode(udp.Payload()); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.IsResponse() || !reply.IsError() {
+		t.Errorf("error response flags = %#x", reply.Flags)
+	}
+	if reply.RequestID != 8 {
+		t.Errorf("error response id = %d", reply.RequestID)
+	}
+}
+
+// TestNICReassemblyExpiry drives TTL eviction through the NIC: a fragmented
+// query that loses its tail is expired from the table (ReassemblyExpired)
+// instead of pinning a slot, and a clean resend afterwards still serves.
+func TestNICReassemblyExpiry(t *testing.T) {
+	const width = 64
+	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 7, ReassemblyTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(3000, 0)
+	var mu sync.Mutex
+	n.reassembly.SetClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	payload := make([]byte, width)
+	for i := 0; i < width/2; i++ {
+		payload[i] = 200
+	}
+	msgs, err := nic.Fragment(31, 4, payload, nic.FragHeaderLen+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 3 {
+		t.Fatalf("only %d fragments", len(msgs))
+	}
+	// All but the last fragment arrive; the tail is lost.
+	for _, m := range msgs[:len(msgs)-1] {
+		if resp, err := n.HandleMessage(m); err != nil || resp != nil {
+			t.Fatalf("resp=%v err=%v", resp, err)
+		}
+	}
+	if p := n.Metrics().PendingReassembly; p != 1 {
+		t.Fatalf("PendingReassembly = %d", p)
+	}
+	advance(2 * time.Second)
+	n.reassembly.GC() // the serve loops run this on their idle tick
+	m := n.Metrics()
+	if m.PendingReassembly != 0 || m.ReassemblyExpired != 1 {
+		t.Fatalf("pending=%d expired=%d after TTL", m.PendingReassembly, m.ReassemblyExpired)
+	}
+	// A clean retransmission of the whole query still serves.
+	var resp *Response
+	for _, msg := range msgs {
+		r, err := n.HandleMessage(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != nil {
+			resp = r
+		}
+	}
+	if resp == nil || resp.Class != 0 {
+		t.Fatalf("resent query resp = %+v, want class 0", resp)
+	}
+}
+
+// TestServeUDPWorkersDrainOnCancel cancels the worker-pool serve loop under
+// a burst of accepted queries: every query that entered the job queue must
+// complete through the shards and flush its response before the call
+// returns, and every loss must be accounted (Served + QueueFull == sent).
+func TestServeUDPWorkersDrainOnCancel(t *testing.T) {
+	const width = 64
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 9, Cores: 2})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, width)
+	const sent = 40
+	pc := &stubPacketConn{}
+	for i := 0; i < sent; i++ {
+		pc.queue = append(pc.queue, encodeQuery(t, uint32(i+1), 4, payload))
+	}
+	// Cancel up front: the reader still drains every buffered datagram
+	// before it sees the idle tick, then the queue drains through the
+	// workers.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDPWorkers(ctx, pc, 2); err != nil {
+		t.Fatalf("ServeUDPWorkers: %v", err)
+	}
+	m := n.Metrics()
+	if m.Served+m.Serve.QueueFull != sent {
+		t.Errorf("Served (%d) + QueueFull (%d) != sent (%d)", m.Served, m.Serve.QueueFull, sent)
+	}
+	if got := pc.writes.Load(); got != m.Served {
+		t.Errorf("responses flushed = %d, served = %d", got, m.Served)
+	}
+	if err := n.Drain(context.Background()); err != nil {
+		t.Errorf("Drain after serve: %v", err)
+	}
+}
+
+// TestServeUDPWorkersQueueFullBackpressure stalls the single worker (slow
+// response writes stand in for a stalled shard) under a flood: the bounded
+// job queue must drop at ingress and count every drop instead of wedging
+// the reader, and the books must still balance after drain.
+func TestServeUDPWorkersQueueFullBackpressure(t *testing.T) {
+	const width = 64
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 10})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, width)
+	const sent = 64
+	pc := &stubPacketConn{writeDelay: 2 * time.Millisecond}
+	for i := 0; i < sent; i++ {
+		pc.queue = append(pc.queue, encodeQuery(t, uint32(i+1), 4, payload))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDPWorkers(ctx, pc, 1); err != nil {
+		t.Fatalf("ServeUDPWorkers: %v", err)
+	}
+	m := n.Metrics()
+	if m.Serve.QueueFull == 0 {
+		t.Error("flood against a stalled worker produced no queue-full drops")
+	}
+	if m.Served+m.Serve.QueueFull != sent {
+		t.Errorf("Served (%d) + QueueFull (%d) != sent (%d)", m.Served, m.Serve.QueueFull, sent)
+	}
+}
+
+// TestServeUDPCountsDecodeAndWriteErrors: malformed datagrams and failed
+// response writes must be counted, and neither may take the serve loop
+// down (one unreachable client is not a server failure).
+func TestServeUDPCountsDecodeAndWriteErrors(t *testing.T) {
+	const width = 64
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 11})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	pc := &stubPacketConn{failWrites: true}
+	pc.queue = append(pc.queue, []byte{0xde, 0xad, 0xbe, 0xef}) // garbage
+	pc.queue = append(pc.queue, encodeQuery(t, 1, 4, make([]byte, width)))
+	pc.queue = append(pc.queue, encodeQuery(t, 2, 4, make([]byte, width)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDP(ctx, pc); err != nil {
+		t.Fatalf("ServeUDP treated a write failure as fatal: %v", err)
+	}
+	m := n.Metrics()
+	if m.Serve.DecodeErrors != 1 {
+		t.Errorf("DecodeErrors = %d, want 1", m.Serve.DecodeErrors)
+	}
+	if m.Serve.WriteErrors != 2 {
+		t.Errorf("WriteErrors = %d, want 2", m.Serve.WriteErrors)
+	}
+	if m.Served != 2 {
+		t.Errorf("Served = %d, want 2", m.Served)
+	}
+}
+
+// lossyPacketConn wraps a real socket and silently discards the first
+// `drop` datagrams it reads — deterministic fragment loss in front of the
+// server.
+type lossyPacketConn struct {
+	net.PacketConn
+	mu      sync.Mutex
+	drop    int
+	dropped int
+}
+
+func (c *lossyPacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, addr, err
+		}
+		c.mu.Lock()
+		lose := c.dropped < c.drop
+		if lose {
+			c.dropped++
+		}
+		c.mu.Unlock()
+		if !lose {
+			return n, addr, nil
+		}
+	}
+}
+
+// TestClientRetryAgainstLossyServer: the first datagram of a fragmented
+// query is lost, pinning a partial reassembly at the server. The client's
+// bounded retry resends after its timeout and succeeds; the server's TTL
+// expires the orphaned partial so the table ends clean.
+func TestClientRetryAgainstLossyServer(t *testing.T) {
+	const width = 2000 // fragments into 2 datagrams at MaxFragPayload
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 12, ReassemblyTTL: 50 * time.Millisecond})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	pc := &lossyPacketConn{PacketConn: inner, drop: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- n.ServeUDP(ctx, pc) }()
+
+	client, err := Dial(inner.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Timeout = 300 * time.Millisecond
+	client.Retries = 2
+	client.RetryBackoff = 20 * time.Millisecond
+
+	query := make([]Code, width)
+	for i := width / 2; i < width; i++ {
+		query[i] = 200
+	}
+	resp, _, err := client.Infer(4, query)
+	if err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if resp.Class != 1 {
+		t.Errorf("class = %d, want 1", resp.Class)
+	}
+	// The orphaned partial from the lossy first attempt expires by TTL.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m := n.Metrics()
+		if m.ReassemblyExpired >= 1 && m.PendingReassembly == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphaned partial not expired: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("ServeUDP returned %v", err)
+	}
+}
+
+// TestClientNoRetryOnServerError: server errors are typed and final — the
+// client must not burn retry attempts on them.
+func TestClientNoRetryOnServerError(t *testing.T) {
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 13})
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- n.ServeUDP(ctx, pc) }()
+
+	client, err := Dial(pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Retries = 3
+	start := time.Now()
+	resp, _, err := client.Infer(99, []Code{1, 2, 3})
+	var se *ServerError
+	if !errors.As(err, &se) || resp == nil || !resp.Err {
+		t.Fatalf("want *ServerError with flagged response, got resp=%v err=%v", resp, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("server error burned retry backoff")
+	}
+	cancel()
+	<-done
+}
+
+// TestDrain: immediate when idle, ctx-bounded when work is pinned in the
+// datapath.
+func TestDrain(t *testing.T) {
+	n, _ := New(Config{Lanes: 2, Noiseless: true, Seed: 14})
+	if err := n.Drain(context.Background()); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+	n.inflight.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := n.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("pinned drain = %v, want deadline exceeded", err)
+	}
+	n.inflight.Add(-1)
+	if err := n.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+}

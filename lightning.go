@@ -16,6 +16,7 @@
 package lightning
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -73,6 +74,11 @@ type Config struct {
 	// engine and DAG loader registers, so concurrent queries run truly in
 	// parallel; the DRAM weight store and model registry are shared.
 	Cores int
+	// ReassemblyTTL bounds how long a partial fragmented query may wait
+	// for its missing fragments before the reassembly table expires it
+	// (default nic.DefaultReassemblyTTL). The timer starts at the first
+	// fragment.
+	ReassemblyTTL time.Duration
 }
 
 // DefaultConfig matches the §6 prototype.
@@ -110,6 +116,15 @@ type NIC struct {
 
 	// served counts completed inference responses.
 	served atomic.Uint64
+	// inflight counts HandleMessage calls currently in the datapath;
+	// Drain waits for it to reach zero.
+	inflight atomic.Int64
+
+	// Serve-edge loss accounting: datagrams dropped before the datapath
+	// and responses lost after it.
+	queueFullDrops atomic.Uint64
+	decodeErrors   atomic.Uint64
+	writeErrors    atomic.Uint64
 
 	tapMu sync.Mutex
 	tap   *pcap.Writer
@@ -140,9 +155,27 @@ type Metrics struct {
 	// TxFrames and TxBytes count link-side responses.
 	TxFrames, TxBytes uint64
 	// PendingReassembly is the in-flight fragmented query count;
-	// ReassemblyDrops counts discarded partial queries.
+	// ReassemblyDrops counts partial queries discarded under capacity
+	// pressure or fragment inconsistency; ReassemblyExpired counts
+	// partial queries evicted because their TTL deadline passed (lost
+	// fragments).
 	PendingReassembly int
 	ReassemblyDrops   uint64
+	ReassemblyExpired uint64
+	// Serve accounts per-reason losses at the UDP serve path's edges.
+	Serve ServeDrops
+}
+
+// ServeDrops counts datagrams and responses lost at the edges of the serve
+// path, per reason — the overload and fault visibility a deployment needs.
+type ServeDrops struct {
+	// QueueFull counts decoded queries dropped because the worker-pool
+	// job queue was full (backpressure under overload).
+	QueueFull uint64
+	// DecodeErrors counts datagrams that failed wire decode.
+	DecodeErrors uint64
+	// WriteErrors counts response datagrams whose socket write failed.
+	WriteErrors uint64
 }
 
 // Metrics returns a consistent snapshot.
@@ -156,6 +189,12 @@ func (n *NIC) Metrics() Metrics {
 		TxBytes:           n.link.TxBytes(),
 		PendingReassembly: n.reassembly.Pending(),
 		ReassemblyDrops:   n.reassembly.Drops(),
+		ReassemblyExpired: n.reassembly.Expired(),
+		Serve: ServeDrops{
+			QueueFull:    n.queueFullDrops.Load(),
+			DecodeErrors: n.decodeErrors.Load(),
+			WriteErrors:  n.writeErrors.Load(),
+		},
 	}
 	for _, sh := range n.shards {
 		sh.mu.Lock()
@@ -218,13 +257,34 @@ func New(cfg Config) (*NIC, error) {
 		engine := datapath.NewEngine(core, cfg.Seed+shardSeedStride*uint64(i)+1)
 		shards[i] = &shard{loader: dagloader.NewLoaderWithStore(engine, store)}
 	}
+	ttl := cfg.ReassemblyTTL
+	if ttl <= 0 {
+		ttl = nic.DefaultReassemblyTTL
+	}
 	return &NIC{
 		parser:     nic.NewParser(),
 		link:       nic.NewLink(),
-		reassembly: nic.NewReassembler(256),
+		reassembly: nic.NewReassemblerTTL(256, ttl),
 		store:      store,
 		shards:     shards,
 	}, nil
+}
+
+// Drain blocks until every in-flight HandleMessage call has left the
+// datapath, or the context expires. It does not stop new work from arriving;
+// callers stop their ingest first (ServeUDP and ServeUDPWorkers do this
+// internally on context cancellation before they return).
+func (n *NIC) Drain(ctx context.Context) error {
+	for {
+		if n.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // TrainedModel is a classifier ready for registration: train one with
@@ -255,6 +315,8 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	if msg.IsResponse() {
 		return nil, fmt.Errorf("lightning: received a response message")
 	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	query, modelID, done, err := n.reassembly.Offer(msg)
 	if err != nil {
 		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
@@ -292,19 +354,23 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 
 // HandleFrame processes one raw Ethernet frame exactly as the datapath
 // would: parse, classify, and — for inference queries — serve and return the
-// response frame (source/destination reversed). Forwarded frames return
-// (nil, VerdictForward, nil): they go to the host over PCIe.
+// response frame addressed by the exact reverse of the query's five-tuple
+// (in particular UDP src=InferencePort, dst=the requester's source port).
+// Forwarded frames return (nil, VerdictForward, nil): they go to the host
+// over PCIe. Datapath failures return the Err-flagged response frame
+// alongside the error — frame clients get the same error visibility UDP
+// clients do, not silence.
 func (n *NIC) HandleFrame(frame []byte) ([]byte, Verdict, error) {
 	n.capture(frame)
 	parsed := n.parser.Parse(frame)
 	if parsed.Verdict != nic.VerdictInference {
 		return nil, parsed.Verdict, nil
 	}
-	resp, err := n.HandleMessage(&parsed.Msg)
-	if err != nil {
-		return nil, nic.VerdictDrop, err
-	}
+	resp, herr := n.HandleMessage(&parsed.Msg)
 	if resp == nil {
+		if herr != nil {
+			return nil, nic.VerdictDrop, herr
+		}
 		// A non-final fragment: absorbed by the packet assembler, no
 		// response yet.
 		return nil, nic.VerdictInference, nil
@@ -314,10 +380,10 @@ func (n *NIC) HandleFrame(frame []byte) ([]byte, Verdict, error) {
 	if derr := eth.DecodeFromBytes(frame); derr != nil {
 		return nil, nic.VerdictDrop, derr
 	}
-	out, err := nic.BuildQueryFrame(
+	out, err := nic.BuildResponseFrame(
 		nic.Ethernet{Dst: eth.Src, Src: eth.Dst},
 		nic.IPv4{Src: parsed.Flow.Dst, Dst: parsed.Flow.Src, TTL: 64},
-		nic.InferencePort,
+		parsed.Flow.SrcPort,
 		resp.ToMessage(),
 	)
 	if err != nil {
@@ -325,7 +391,7 @@ func (n *NIC) HandleFrame(frame []byte) ([]byte, Verdict, error) {
 	}
 	n.link.Transmit(len(out))
 	n.capture(out)
-	return out, nic.VerdictInference, nil
+	return out, nic.VerdictInference, herr
 }
 
 // Stats exposes parser counters for monitoring.

@@ -3,6 +3,7 @@ package lightning
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net"
 	"net/netip"
 	"testing"
@@ -125,6 +126,11 @@ func TestNICHandleFrameRoundTrip(t *testing.T) {
 	var udp nic.UDP
 	if err := udp.DecodeFromBytes(ip.Payload()); err != nil {
 		t.Fatal(err)
+	}
+	// The reversed five-tuple: the response leaves InferencePort toward the
+	// client's ephemeral source port, not back to port 4055.
+	if udp.SrcPort != nic.InferencePort || udp.DstPort != 7777 {
+		t.Errorf("response ports = %d->%d, want %d->7777", udp.SrcPort, udp.DstPort, nic.InferencePort)
 	}
 	var reply Message
 	if err := reply.Decode(udp.Payload()); err != nil {
@@ -525,13 +531,17 @@ func TestServeUDPEndToEnd(t *testing.T) {
 			t.Errorf("probs = %v", resp.Probs)
 		}
 	}
-	// Unknown model returns an error response, not silence.
+	// Unknown model returns an Err-flagged response surfaced as a typed
+	// *ServerError, not silence.
 	resp, _, err := client.Infer(42, test.Examples[0].X)
-	if err != nil {
-		t.Fatal(err)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Errorf("unknown model returned %v, want *ServerError", err)
+	} else if se.ModelID != 42 {
+		t.Errorf("ServerError.ModelID = %d, want 42", se.ModelID)
 	}
-	if !resp.Err {
-		t.Error("unknown model did not flag error")
+	if resp == nil || !resp.Err {
+		t.Error("unknown model did not return the flagged response")
 	}
 	cancel()
 	if err := <-done; err != nil {

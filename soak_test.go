@@ -2,6 +2,8 @@ package lightning
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -83,14 +85,16 @@ func TestSoakMixedModelsOverUDP(t *testing.T) {
 					return
 				}
 				// Every tenth query targets an unregistered model and
-				// must come back flagged, not dropped.
+				// must come back as a typed server error with the
+				// flagged response, not dropped.
 				if i%10 == 9 {
 					bad, _, err := client.Infer(99, ex.X)
-					if err != nil {
-						errCh <- err
+					var se *ServerError
+					if !errors.As(err, &se) {
+						errCh <- fmt.Errorf("unknown model: got %v, want *ServerError", err)
 						return
 					}
-					if !bad.Err {
+					if bad == nil || !bad.Err {
 						errCh <- context.DeadlineExceeded
 						return
 					}

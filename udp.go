@@ -11,24 +11,34 @@ import (
 	"github.com/lightning-smartnic/lightning/internal/nic"
 )
 
+// readTick is how often the serve loops surface from a blocking read to
+// check for cancellation and expire stale reassembly entries.
+const readTick = 100 * time.Millisecond
+
 // ServeUDP attaches the NIC to a UDP socket and serves Lightning wire
 // messages until the context is cancelled (requirement R1: live user
 // traffic from remote users). Each datagram carries one wire message; the
 // response returns to the sender's address. Malformed datagrams are dropped
-// silently, as the datapath parser would.
+// and counted (Metrics.Serve.DecodeErrors), as the datapath parser would
+// drop them; failed response writes are likewise counted rather than fatal —
+// one unreachable client must not take the server down. On cancellation the
+// loop stops reading, waits for in-flight datapath work, and returns nil.
 func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 	buf := make([]byte, 65536)
 	for {
-		if err := pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
 			return err
 		}
 		sz, addr, err := pc.ReadFrom(buf)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
+				// Idle tick: expire stale partial queries even when no
+				// fragments arrive to trigger the lazy sweep.
+				n.reassembly.GC()
 				select {
 				case <-ctx.Done():
-					return nil
+					return n.Drain(context.Background())
 				default:
 					continue
 				}
@@ -37,6 +47,7 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 		}
 		var msg Message
 		if derr := msg.Decode(buf[:sz]); derr != nil {
+			n.decodeErrors.Add(1)
 			continue
 		}
 		resp, herr := n.HandleMessage(&msg)
@@ -49,7 +60,7 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 			continue
 		}
 		if _, werr := pc.WriteTo(out, addr); werr != nil {
-			return werr
+			n.writeErrors.Add(1)
 		}
 	}
 }
@@ -63,6 +74,12 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 // response I/O still overlap across workers, and with Cores=N up to N
 // queries run through the photonics truly in parallel. Sizing workers at or
 // above Cores keeps every shard busy.
+//
+// The job queue is bounded: when the datapath cannot keep up, freshly
+// decoded queries are dropped and counted (Metrics.Serve.QueueFull) instead
+// of blocking the reader — overload degrades visibly rather than wedging
+// ingest. On cancellation the reader stops, queued jobs drain through the
+// workers, their responses flush, and the call returns nil.
 func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers int) error {
 	if workers < 1 {
 		workers = 1
@@ -86,24 +103,30 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 				if err != nil {
 					continue
 				}
-				pc.WriteTo(out, j.addr)
+				if _, werr := pc.WriteTo(out, j.addr); werr != nil {
+					n.writeErrors.Add(1)
+				}
 			}
 		}()
 	}
+	// Drain on exit: close the queue, let workers finish every accepted
+	// job and flush its response, then wait out any datapath stragglers.
 	defer func() {
 		close(jobs)
 		wg.Wait()
+		_ = n.Drain(context.Background())
 	}()
 
 	buf := make([]byte, 65536)
 	for {
-		if err := pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
 			return err
 		}
 		sz, addr, err := pc.ReadFrom(buf)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
+				n.reassembly.GC()
 				select {
 				case <-ctx.Done():
 					return nil
@@ -115,21 +138,48 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 		}
 		var msg Message
 		if derr := msg.Decode(buf[:sz]); derr != nil {
+			n.decodeErrors.Add(1)
 			continue
 		}
 		// Copy the payload out of the shared read buffer before handing
 		// the message to a worker.
 		msg.Payload = append([]byte(nil), msg.Payload...)
-		jobs <- job{msg: msg, addr: addr}
+		select {
+		case jobs <- job{msg: msg, addr: addr}:
+		default:
+			// Queue full: the shards are saturated. Drop at ingress and
+			// account it rather than blocking the reader.
+			n.queueFullDrops.Add(1)
+		}
 	}
+}
+
+// ServerError is the typed error a Client returns when the NIC answered
+// with an Err-flagged response: unknown model, malformed fragments, or a
+// datapath failure. The response itself is still returned alongside it.
+type ServerError struct {
+	RequestID uint32
+	ModelID   uint16
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("lightning: server error for request %d (model %d)", e.RequestID, e.ModelID)
 }
 
 // Client queries a Lightning NIC over UDP.
 type Client struct {
 	conn   net.Conn
 	nextID uint32
-	// Timeout bounds each round trip.
+	// Timeout bounds each round-trip attempt.
 	Timeout time.Duration
+	// Retries is how many times Infer resends the whole query after a
+	// timeout (0 = one attempt, no retry). A fragmented send whose
+	// fragments were lost — and whose partial reassembly the server
+	// expires by TTL — succeeds on a clean retransmission.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling each
+	// attempt (default 50ms when Retries > 0).
+	RetryBackoff time.Duration
 }
 
 // Dial connects a client to a serving NIC's UDP address.
@@ -145,14 +195,48 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Infer sends one query and waits for its response, returning the response
-// and the observed round-trip latency.
+// and the observed round-trip latency. Timeouts retry up to Retries times
+// with exponential backoff, re-sending every fragment under a fresh request
+// ID. An Err-flagged response is returned together with a *ServerError so
+// callers can branch on errors.As without inspecting the response; server
+// errors are not retried.
 func (c *Client) Infer(modelID uint16, payload []Code) (*Response, time.Duration, error) {
-	c.nextID++
-	id := c.nextID
 	raw := make([]byte, len(payload))
 	for i, p := range payload {
 		raw[i] = byte(p)
 	}
+	attempts := c.Retries + 1
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, rtt, err := c.attempt(modelID, raw)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				lastErr = err
+				continue
+			}
+			return nil, 0, err
+		}
+		if resp.Err {
+			return resp, rtt, &ServerError{RequestID: resp.RequestID, ModelID: resp.ModelID}
+		}
+		return resp, rtt, nil
+	}
+	return nil, 0, fmt.Errorf("lightning: no response after %d attempt(s): %w", attempts, lastErr)
+}
+
+// attempt performs one send-and-wait round trip.
+func (c *Client) attempt(modelID uint16, raw []byte) (*Response, time.Duration, error) {
+	c.nextID++
+	id := c.nextID
 	// Large queries (Table 6's 150 KB images) travel as fragments that the
 	// NIC's packet assembler reassembles.
 	msgs, err := nic.Fragment(id, modelID, raw, nic.MaxFragPayload)
