@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ClockInject guards the injectable-clock seam: internal simulation and NIC
+// packages must not call time.Now or time.Since directly, because wall-clock
+// reads make behaviour (TTL expiry, jitter models, timestamps) untestable and
+// non-reproducible. Time flows in through an injected clock — the pattern
+// internal/nic/fragment.go establishes with its `now func() time.Time` field
+// defaulting to time.Now. Referencing time.Now as a *value* (wiring the
+// default clock) is exactly that seam and passes; *calling* it is the
+// violation. Sites that genuinely need the wall clock annotate with
+// //lint:allow clockinject <reason>.
+func ClockInject() *Analyzer {
+	return &Analyzer{
+		Name: "clockinject",
+		Doc:  "flags direct time.Now/time.Since calls in internal packages outside injectable-clock seams",
+		Match: func(pkgPath string) bool {
+			return underInternal(pkgPath, ModulePath)
+		},
+		Run: runClockInject,
+	}
+}
+
+func runClockInject(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFuncCall(p, call)
+			if pkg != "time" || (name != "Now" && name != "Since") {
+				return true
+			}
+			diags = append(diags, diag(p, call, "clockinject",
+				"direct time.%s call; read time through an injected clock (`now func() time.Time` field defaulting to time.Now) so tests can drive it", name))
+			return true
+		})
+	}
+	return diags
+}

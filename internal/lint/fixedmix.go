@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FixedMix guards explicit quantization on the digital datapath: the
+// internal/fixed types (Code, Acc, Signed magnitudes) model hardware
+// registers, and the only sanctioned paths between them and real numbers are
+// the package's quantizers (fixed.FromUnit, SplitSigned, Scale.Quantize)
+// which round and saturate the way the DAC does. A direct conversion like
+// fixed.Code(x) from a float truncates toward zero and wraps above 255 —
+// a silent accuracy skew, exactly the class of physics-model bug that never
+// crashes — and a float literal folded into fixed arithmetic hides a
+// quantization decision in constant conversion. Both are flagged in the
+// datapath and count-action packages; integer-to-fixed conversions (shifts,
+// saturating adds) pass, as does the explicit float64(code) widening used to
+// enter the analog model.
+func FixedMix() *Analyzer {
+	return &Analyzer{
+		Name: "fixedmix",
+		Doc:  "flags float-to-fixed conversions and float literals mixed into fixed-point arithmetic",
+		Match: func(pkgPath string) bool {
+			return pathIn(pkgPath, ModulePath, "internal/datapath", "internal/countaction")
+		},
+		Run: runFixedMix,
+	}
+}
+
+func runFixedMix(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// T(x) conversion where T is a fixed type and x is a float.
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := p.Info.Types[n.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				target, ok := fixedNamedType(tv.Type)
+				if !ok {
+					return true
+				}
+				if atv, ok := p.Info.Types[n.Args[0]]; ok && isFloatValued(atv) {
+					diags = append(diags, diag(p, n, "fixedmix",
+						"float converted straight to fixed.%s truncates without rounding or saturation; quantize through fixed.FromUnit/SplitSigned/Scale.Quantize", target))
+				}
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+				default:
+					return true
+				}
+				lt, lok := p.Info.Types[n.X]
+				rt, rok := p.Info.Types[n.Y]
+				if !lok || !rok {
+					return true
+				}
+				_, lfixed := fixedNamedType(lt.Type)
+				_, rfixed := fixedNamedType(rt.Type)
+				if lfixed && isFloatLiteralOperand(n.Y, rt) || rfixed && isFloatLiteralOperand(n.X, lt) {
+					diags = append(diags, diag(p, n, "fixedmix",
+						"float literal folded into fixed-point arithmetic hides a quantization step; convert explicitly through the fixed package"))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// fixedNamedType reports whether t (or its pointee) is a named type defined
+// in internal/fixed, returning its name.
+func fixedNamedType(t types.Type) (string, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != ModulePath+"/internal/fixed" {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+// isFloatValued reports whether the expression's type (or its untyped
+// default) is a floating-point kind.
+func isFloatValued(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	if b.Info()&types.IsFloat != 0 {
+		// An untyped constant that is an exact integer (e.g. 2.0 spelled
+		// confusingly but harmlessly in a const expression) still counts:
+		// the lint asks for the intent to be spelled as an integer or an
+		// explicit quantization.
+		return true
+	}
+	if b.Info()&types.IsUntyped != 0 && tv.Value != nil && tv.Value.Kind() == constant.Float {
+		return true
+	}
+	return false
+}
+
+// isFloatLiteralOperand reports whether the operand is (or folds to) an
+// untyped float constant — the "c * 2.0" shape where Go silently converts
+// the literal into the fixed type.
+func isFloatLiteralOperand(e ast.Expr, tv types.TypeAndValue) bool {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok && lit.Kind == token.FLOAT {
+		return true
+	}
+	return tv.Value != nil && tv.Value.Kind() == constant.Float
+}

@@ -1,0 +1,189 @@
+// Package lint is Lightning's project-specific static-analysis suite.
+//
+// The repo's correctness claims rest on invariants the Go compiler cannot
+// see: a fixed-seed Cores=1 run must stay bit-identical (so no simulation
+// package may draw from the global math/rand source or read the wall
+// clock outside an injectable seam), the sharded serve path must stay
+// race-clean (shared counters use sync/atomic or sit behind their owning
+// mutex), wire-facing errors must be counted rather than silently dropped,
+// and the analog model must not mix fixed-point codes with floats without
+// an explicit quantization step. Each analyzer in this package guards one
+// of those invariants; cmd/lightning-lint runs them all over the module
+// and CI fails on any diagnostic.
+//
+// The suite is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types (see loader.go), so linting needs nothing
+// beyond the Go toolchain.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an invariant violation at a source position.
+type Diagnostic struct {
+	// Pos locates the violating expression or statement.
+	Pos token.Position
+	// Analyzer names the check that fired (e.g. "globalrand").
+	Analyzer string
+	// Message explains the violation and the sanctioned alternative.
+	Message string
+}
+
+// String formats a diagnostic as "file:line: analyzer: message", the shape
+// the CLI prints and the fixture goldens record.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// annotations.
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// Match reports whether the analyzer applies to a package, keyed by
+	// import path. Analyzers that guard package-local invariants (e.g.
+	// globalrand's reproducibility set) scope themselves here.
+	Match func(pkgPath string) bool
+	// Run inspects one package and returns its findings.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GlobalRand(),
+		ClockInject(),
+		AtomicCounter(),
+		ErrDrop(),
+		FixedMix(),
+	}
+}
+
+// Run applies every matching analyzer to every package and returns the
+// surviving (non-suppressed) diagnostics sorted by file, line, analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		sup := newSuppressions(p)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(p.Path) {
+				continue
+			}
+			for _, d := range a.Run(p) {
+				if sup.suppressed(a.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions indexes the escape-hatch annotations of one package:
+//
+//	//lint:drop <reason>            suppresses errdrop at that site
+//	//lint:allow <analyzer> <reason> suppresses any analyzer at that site
+//
+// An annotation applies to diagnostics on its own line (trailing comment)
+// or on the line directly below (comment above the statement). A reason is
+// required: a bare annotation suppresses nothing, so every silenced site
+// documents why the invariant does not apply.
+type suppressions struct {
+	// byFile maps filename → line → set of silenced analyzer names.
+	byFile map[string]map[int]map[string]bool
+}
+
+var annotationRE = regexp.MustCompile(`^//lint:(drop|allow)\s+(\S+)(\s|$)`)
+
+func newSuppressions(p *Package) *suppressions {
+	s := &suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := annotationRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				analyzer := "errdrop"
+				if m[1] == "allow" {
+					// //lint:allow <analyzer> <reason>: the reason is the
+					// rest of the line and must be non-empty.
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, "//lint:allow"))
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						continue
+					}
+					analyzer = fields[0]
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byFile[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = make(map[string]bool)
+					}
+					lines[line][analyzer] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	return s.byFile[pos.Filename][pos.Line][analyzer]
+}
+
+// diag builds a Diagnostic for a node in a package.
+func diag(p *Package, n ast.Node, analyzer, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(n.Pos()),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// pathIn reports whether pkgPath is modPath/<one of rels> (or exactly
+// modPath when rels contains "").
+func pathIn(pkgPath, modPath string, rels ...string) bool {
+	for _, rel := range rels {
+		if rel == "" {
+			if pkgPath == modPath {
+				return true
+			}
+			continue
+		}
+		if pkgPath == modPath+"/"+rel {
+			return true
+		}
+	}
+	return false
+}
+
+// underInternal reports whether pkgPath is any internal package of the
+// module.
+func underInternal(pkgPath, modPath string) bool {
+	return strings.HasPrefix(pkgPath, modPath+"/internal/")
+}

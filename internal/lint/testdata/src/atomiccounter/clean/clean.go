@@ -1,0 +1,65 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/nic
+
+// Package fixture exercises atomiccounter's clean cases: atomic counter
+// types, mutation under the owning mutex (including the "callers hold mu"
+// helper convention), and counters of entry structs guarded by their
+// container's lock.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Atomic counts with sync/atomic and needs no mutex.
+type Atomic struct {
+	drops atomic.Uint64
+}
+
+// Record is race-free by construction.
+func (a *Atomic) Record() {
+	a.drops.Add(1)
+}
+
+// Guarded mutates only under its owning mutex, partly through an unexported
+// helper every caller of which locks first.
+type Guarded struct {
+	mu     sync.Mutex
+	served uint64
+}
+
+// Serve locks, then delegates.
+func (g *Guarded) Serve() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bump()
+}
+
+// bump increments the counter; callers hold g.mu.
+func (g *Guarded) bump() {
+	g.served++
+}
+
+// Entry is a per-flow record owned by a Table; its counter is guarded by
+// the container's mutex, not its own.
+type Entry struct {
+	Packets uint64
+}
+
+// Table guards its entries with one lock.
+type Table struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// Record mutates an entry's counter under the table lock.
+func (t *Table) Record(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[k]
+	if e == nil {
+		e = &Entry{}
+		t.entries[k] = e
+	}
+	e.Packets++
+}

@@ -1,0 +1,36 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/nic
+
+// Package fixture exercises atomiccounter's flagged cases: plain-integer
+// counter fields mutated with no mutex held at all, and mutated on a path
+// that skips the owning mutex — the PR 1 race class.
+package fixture
+
+import "sync"
+
+// Unguarded has counters and no mutex anywhere.
+type Unguarded struct {
+	Drops uint64
+}
+
+// Record races with every other caller.
+func (u *Unguarded) Record() {
+	u.Drops++
+}
+
+// Leaky has an owning mutex but one exported path skips it.
+type Leaky struct {
+	mu     sync.Mutex
+	served uint64
+}
+
+// ServeLocked mutates under the owning mutex.
+func (l *Leaky) ServeLocked() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.served++
+}
+
+// ServeUnlocked mutates the same counter with the mutex free.
+func (l *Leaky) ServeUnlocked() {
+	l.served++
+}

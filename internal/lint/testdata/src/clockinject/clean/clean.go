@@ -1,0 +1,24 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/sim
+
+// Package fixture exercises clockinject's clean cases: the injectable-clock
+// seam from internal/nic/fragment.go. Referencing time.Now as a value to
+// wire the default clock is the seam itself and passes; only calls are
+// violations.
+package fixture
+
+import "time"
+
+// Expiry reads time through an injected clock.
+type Expiry struct {
+	now func() time.Time
+}
+
+// NewExpiry wires the default clock; tests replace it with a logical one.
+func NewExpiry() *Expiry {
+	return &Expiry{now: time.Now}
+}
+
+// Stale reports whether the deadline has passed on the injected clock.
+func (e *Expiry) Stale(deadline time.Time) bool {
+	return e.now().After(deadline)
+}

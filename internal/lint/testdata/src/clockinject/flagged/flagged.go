@@ -1,0 +1,23 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/sim
+
+// Package fixture exercises clockinject's flagged cases: direct wall-clock
+// reads inside a simulation package, which make TTL and latency behaviour
+// untestable and non-reproducible.
+package fixture
+
+import "time"
+
+// Tracker timestamps events straight off the wall clock.
+type Tracker struct {
+	last time.Time
+}
+
+// Touch records the current wall-clock time.
+func (t *Tracker) Touch() {
+	t.last = time.Now()
+}
+
+// Age measures elapsed wall-clock time.
+func (t *Tracker) Age() time.Duration {
+	return time.Since(t.last)
+}

@@ -1,0 +1,32 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/devkit
+
+// Package fixture exercises errdrop's clean cases: errors handled or
+// propagated, and a designed drop documented with the //lint:drop
+// annotation.
+package fixture
+
+import (
+	"net"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/nic"
+	"github.com/lightning-smartnic/lightning/internal/pcap"
+)
+
+// Send propagates every error on the response path.
+func Send(pc net.PacketConn, addr net.Addr, m *nic.Message) error {
+	out, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := pc.WriteTo(out, addr); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Capture is best-effort by design: the tap must never affect the
+// datapath, and the annotation records that decision.
+func Capture(w *pcap.Writer, ts time.Time, frame []byte) {
+	_ = w.WritePacket(ts, frame) //lint:drop capture is best-effort; datapath must not fail on tap errors
+}

@@ -1,0 +1,30 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/datapath
+
+// Package fixture exercises fixedmix's clean cases: quantization through
+// the fixed package's rounding/saturating helpers, explicit widening into
+// float for analog math, and integer-only requantization.
+package fixture
+
+import "github.com/lightning-smartnic/lightning/internal/fixed"
+
+// Quantize rounds and saturates through the sanctioned helper.
+func Quantize(x float64) fixed.Code {
+	return fixed.FromUnit(x)
+}
+
+// Widen converts explicitly into the float domain before float math.
+func Widen(c fixed.Code) float64 {
+	return float64(c) * 0.5
+}
+
+// Shift requantizes with integer arithmetic and explicit saturation.
+func Shift(a fixed.Acc) fixed.Code {
+	v := int32(a) >> 4
+	if v > fixed.MaxCode {
+		v = fixed.MaxCode
+	}
+	if v < 0 {
+		v = 0
+	}
+	return fixed.Code(v)
+}

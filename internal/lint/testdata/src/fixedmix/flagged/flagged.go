@@ -1,0 +1,23 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/datapath
+
+// Package fixture exercises fixedmix's flagged cases: floats converted
+// straight into fixed-point types (truncating, wrapping) and float literals
+// folded silently into fixed arithmetic.
+package fixture
+
+import "github.com/lightning-smartnic/lightning/internal/fixed"
+
+// Rescale truncates a float into a code with no rounding or saturation.
+func Rescale(x float64) fixed.Code {
+	return fixed.Code(x * 255)
+}
+
+// Accumulate truncates a float into an accumulator word.
+func Accumulate(x float64) fixed.Acc {
+	return fixed.Acc(x)
+}
+
+// Halve hides a quantization decision inside a constant conversion.
+func Halve(c fixed.Code) fixed.Code {
+	return c / 2.0
+}

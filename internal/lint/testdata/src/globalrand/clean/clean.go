@@ -1,0 +1,23 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/photonic
+
+// Package fixture exercises globalrand's clean cases: randomness flows
+// through an injected seeded *rand.Rand, the pattern every simulation
+// package uses so Cores=1 runs stay bit-identical for a fixed seed.
+package fixture
+
+import "math/rand/v2"
+
+// Noise owns an injected seeded generator.
+type Noise struct {
+	rng *rand.Rand
+}
+
+// NewNoise seeds the generator deterministically from the caller's seed.
+func NewNoise(seed uint64) *Noise {
+	return &Noise{rng: rand.New(rand.NewPCG(seed, 0x9e))}
+}
+
+// Sample draws from the injected generator.
+func (n *Noise) Sample() float64 {
+	return n.rng.Float64()
+}

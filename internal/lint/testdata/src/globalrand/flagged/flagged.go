@@ -1,0 +1,26 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/photonic
+
+// Package fixture exercises globalrand's flagged cases: draws from the
+// process-global math/rand/v2 source and a wall-clock-seeded generator,
+// both of which break fixed-seed reproducibility.
+package fixture
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// NoiseSample draws from the global source.
+func NoiseSample() float64 {
+	return rand.Float64()
+}
+
+// Jitter draws an integer from the global source.
+func Jitter(n int) int {
+	return rand.IntN(n)
+}
+
+// WallClockSeeded builds a generator whose seed comes from the wall clock.
+func WallClockSeeded() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 0))
+}

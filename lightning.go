@@ -125,6 +125,12 @@ type NIC struct {
 	queueFullDrops atomic.Uint64
 	decodeErrors   atomic.Uint64
 	writeErrors    atomic.Uint64
+	deadlineErrors atomic.Uint64
+
+	// tapWriteErrors counts pcap capture failures; the tap is best-effort
+	// but an incomplete capture must be visible to whoever is debugging
+	// with it.
+	tapWriteErrors atomic.Uint64
 
 	tapMu sync.Mutex
 	tap   *pcap.Writer
@@ -162,6 +168,9 @@ type Metrics struct {
 	PendingReassembly int
 	ReassemblyDrops   uint64
 	ReassemblyExpired uint64
+	// TapWriteErrors counts pcap tap capture failures: frames the datapath
+	// processed but the attached capture could not record.
+	TapWriteErrors uint64
 	// Serve accounts per-reason losses at the UDP serve path's edges.
 	Serve ServeDrops
 }
@@ -176,6 +185,11 @@ type ServeDrops struct {
 	DecodeErrors uint64
 	// WriteErrors counts response datagrams whose socket write failed.
 	WriteErrors uint64
+	// DeadlineErrors counts failed read-deadline arms on the serve
+	// socket. The loops keep serving (a closed socket surfaces as a read
+	// error immediately after), but a persistent count means cancellation
+	// latency is degraded.
+	DeadlineErrors uint64
 }
 
 // Metrics returns a consistent snapshot.
@@ -190,10 +204,12 @@ func (n *NIC) Metrics() Metrics {
 		PendingReassembly: n.reassembly.Pending(),
 		ReassemblyDrops:   n.reassembly.Drops(),
 		ReassemblyExpired: n.reassembly.Expired(),
+		TapWriteErrors:    n.tapWriteErrors.Load(),
 		Serve: ServeDrops{
-			QueueFull:    n.queueFullDrops.Load(),
-			DecodeErrors: n.decodeErrors.Load(),
-			WriteErrors:  n.writeErrors.Load(),
+			QueueFull:      n.queueFullDrops.Load(),
+			DecodeErrors:   n.decodeErrors.Load(),
+			WriteErrors:    n.writeErrors.Load(),
+			DeadlineErrors: n.deadlineErrors.Load(),
 		},
 	}
 	for _, sh := range n.shards {
@@ -225,8 +241,12 @@ func (n *NIC) capture(frame []byte) {
 	n.tapMu.Lock()
 	defer n.tapMu.Unlock()
 	if n.tap != nil {
-		// Capture failures must never affect the datapath.
-		_ = n.tap.WritePacket(time.Now(), frame)
+		// Capture failures must never affect the datapath, but they are
+		// counted (Metrics.TapWriteErrors): a silent gap in a pcap is a
+		// debugging trap.
+		if err := n.tap.WritePacket(time.Now(), frame); err != nil {
+			n.tapWriteErrors.Add(1)
+		}
 	}
 }
 

@@ -27,7 +27,16 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 	buf := make([]byte, 65536)
 	for {
 		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
-			return err
+			// Counted, not fatal (Metrics.Serve.DeadlineErrors): a failed
+			// deadline arm usually means the socket is closing, which the
+			// next read surfaces; meanwhile cancellation must still be
+			// observed even if reads now block indefinitely.
+			n.deadlineErrors.Add(1)
+			select {
+			case <-ctx.Done():
+				return n.Drain(context.Background())
+			default:
+			}
 		}
 		sz, addr, err := pc.ReadFrom(buf)
 		if err != nil {
@@ -120,7 +129,14 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 	buf := make([]byte, 65536)
 	for {
 		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
-			return err
+			// Same policy as ServeUDP: count and keep serving, but never
+			// lose cancellation.
+			n.deadlineErrors.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+			}
 		}
 		sz, addr, err := pc.ReadFrom(buf)
 		if err != nil {
