@@ -225,6 +225,42 @@ func BenchmarkServeCoresScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkServeCoresScalingHealth isolates the health subsystem's cost on
+// the same sharded serve path: probes=0 carries only the always-on breaker
+// machinery (a state load at dispatch plus a windowed outcome push — the
+// delta against BenchmarkServeCoresScaling's historical numbers is the
+// breaker overhead, and it should be negligible), while probes=64 adds a
+// known-answer probe sweep every 64 served queries per shard.
+func BenchmarkServeCoresScalingHealth(b *testing.B) {
+	q, raw := benchModel(b)
+	for _, cores := range []int{1, 4} {
+		for _, probeEvery := range []int{0, 64} {
+			b.Run(fmtInt("cores", cores)+"/"+fmtInt("probes", probeEvery), func(b *testing.B) {
+				n, err := New(Config{Lanes: 2, Seed: 1, Cores: cores, ProbeEvery: probeEvery})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := n.RegisterModel(1, "anomaly", q); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						msg := &Message{RequestID: 1, ModelID: 1, Payload: raw}
+						if _, err := n.HandleMessage(msg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.StopTimer()
+				if m := n.Metrics(); m.Health.Quarantines != 0 {
+					b.Fatalf("healthy hardware tripped a breaker mid-bench: %+v", m.Health)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkServeUDPWorkersCores drives the full UDP serve path — socket,
 // wire codec, worker pool, sharded datapath — with one concurrent client
 // per shard, sweeping the shard count.

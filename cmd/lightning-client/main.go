@@ -23,6 +23,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-attempt round-trip timeout")
 	retries := flag.Int("retries", 2, "resend attempts after a timeout (lost fragments/responses)")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	tolerateErrors := flag.Bool("tolerate-errors", false,
+		"count Err-flagged responses (e.g. a degraded server with quarantined shards) instead of aborting")
 	flag.Parse()
 
 	var set *lightning.Dataset
@@ -48,12 +50,19 @@ func main() {
 	client.RetryBackoff = *backoff
 
 	var latencies []float64
-	correct := 0
+	correct, serverErrors := 0, 0
 	for i, ex := range set.Examples {
 		resp, rtt, err := client.Infer(id, ex.X)
 		var se *lightning.ServerError
 		if errors.As(err, &se) {
-			log.Fatalf("query %d: %v (is model %q registered?)", i, se, *modelName)
+			// A degraded server (every shard quarantined mid-recovery)
+			// answers honestly with Err-flagged responses; with
+			// -tolerate-errors the run rides through and reports them.
+			if *tolerateErrors {
+				serverErrors++
+				continue
+			}
+			log.Fatalf("query %d: %v (is model %q registered? rerun with -tolerate-errors to ride out a degraded server)", i, se, *modelName)
 		}
 		if err != nil {
 			log.Fatalf("query %d: %v", i, err)
@@ -63,8 +72,14 @@ func main() {
 		}
 		latencies = append(latencies, float64(rtt.Microseconds()))
 	}
+	if len(latencies) == 0 {
+		log.Fatalf("no queries answered (%d server errors)", serverErrors)
+	}
 	cdf := stats.NewCDF(latencies)
 	fmt.Printf("%d queries against %s\n", len(latencies), *addr)
+	if serverErrors > 0 {
+		fmt.Printf("server errors tolerated: %d\n", serverErrors)
+	}
 	fmt.Printf("accuracy vs synthetic labels: %.1f%%\n", float64(correct)/float64(len(latencies))*100)
 	fmt.Printf("latency p50 %.0f µs, p90 %.0f µs, p99 %.0f µs\n",
 		cdf.Percentile(0.5), cdf.Percentile(0.9), cdf.Percentile(0.99))

@@ -30,6 +30,9 @@ func main() {
 	cores := flag.Int("cores", 1, "photonic core shards (1 = the §6 prototype)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 disables)")
 	reassemblyTTL := flag.Duration("reassembly-ttl", 0, "partial-query reassembly TTL (0 = default)")
+	healthWindow := flag.Int("health-window", 0, "per-shard health window in served queries (0 = default)")
+	healthThreshold := flag.Float64("health-threshold", 0, "windowed error rate that quarantines a shard (0 = default)")
+	probeEvery := flag.Int("probe-every", 0, "known-answer probe cadence in served queries per shard (0 disables)")
 	flag.Parse()
 
 	var train *lightning.Dataset
@@ -89,6 +92,8 @@ func main() {
 	nic, err := lightning.New(lightning.Config{
 		Lanes: 2, Noiseless: *noiseless, Seed: *seed, Cores: *cores,
 		ReassemblyTTL: *reassemblyTTL,
+		HealthWindow:  *healthWindow, HealthThreshold: *healthThreshold,
+		ProbeEvery: *probeEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,11 +114,24 @@ func main() {
 	defer stop()
 
 	statsLine := func(m lightning.Metrics) string {
-		return fmt.Sprintf(
-			"served %d | pending reassembly %d (drops %d, expired %d) | queue-full %d, decode-err %d, write-err %d | tx %d frames / %d bytes",
-			m.Served, m.PendingReassembly, m.ReassemblyDrops, m.ReassemblyExpired,
+		shards := ""
+		for i, h := range m.Shards {
+			if i > 0 {
+				shards += " "
+			}
+			shards += fmt.Sprintf("%d:%s", i, h.State)
+		}
+		line := fmt.Sprintf(
+			"served %d | shards [%s] | pending reassembly %d (drops %d, expired %d) | queue-full %d, decode-err %d, write-err %d | tx %d frames / %d bytes",
+			m.Served, shards, m.PendingReassembly, m.ReassemblyDrops, m.ReassemblyExpired,
 			m.Serve.QueueFull, m.Serve.DecodeErrors, m.Serve.WriteErrors,
 			m.TxFrames, m.TxBytes)
+		if h := m.Health; h.Quarantines > 0 || h.Unavailable > 0 {
+			line += fmt.Sprintf(" | health: quarantines %d, readmissions %d, relocks %d/%d fail, probes %d/%d fail, unavailable %d",
+				h.Quarantines, h.Readmissions, h.Relocks, h.RelockFailures,
+				h.Probes, h.ProbeFailures, h.Unavailable)
+		}
+		return line
 	}
 	if *statsEvery > 0 {
 		go func() {

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr is the placeholder net.Addr the stub conns report.
+type Addr struct{}
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "udp" }
+
+// String implements net.Addr.
+func (Addr) String() string { return "fault:0" }
+
+// timeoutError is the net.Error the stub conns return when their queue runs
+// dry, so serve loops treat it exactly like a read-deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "fault: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ErrTimeout is the timeout error StubConn returns once its queue is empty.
+var ErrTimeout net.Error = timeoutError{}
+
+// StubConn feeds a fixed set of datagrams to a serve loop as fast as it can
+// read them, then times out forever — a deterministic stand-in for a socket
+// under burst load. Writes are recorded, and can be made to fail (an
+// unreachable client) or stall (a slow downstream holding a worker busy).
+// Safe for concurrent use by a reader and several writers.
+type StubConn struct {
+	mu    sync.Mutex
+	queue [][]byte
+
+	writes atomic.Uint64
+
+	// FailWrites makes every WriteTo return an error. Set before serving.
+	FailWrites bool
+	// WriteDelay stalls each WriteTo, holding the calling worker busy. Set
+	// before serving.
+	WriteDelay time.Duration
+}
+
+// NewStubConn builds a stub conn preloaded with the given datagrams.
+func NewStubConn(datagrams ...[][]byte) *StubConn {
+	c := &StubConn{}
+	for _, batch := range datagrams {
+		c.queue = append(c.queue, batch...)
+	}
+	return c
+}
+
+// Enqueue appends one datagram to the read queue.
+func (c *StubConn) Enqueue(d []byte) {
+	c.mu.Lock()
+	c.queue = append(c.queue, d)
+	c.mu.Unlock()
+}
+
+// Writes returns the count of successful WriteTo calls.
+func (c *StubConn) Writes() uint64 { return c.writes.Load() }
+
+// ReadFrom implements net.PacketConn: it pops the next queued datagram, or
+// times out (after a short sleep, so cancelled serve loops spin gently).
+func (c *StubConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	c.mu.Lock()
+	if len(c.queue) == 0 {
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return 0, nil, ErrTimeout
+	}
+	d := c.queue[0]
+	c.queue = c.queue[1:]
+	c.mu.Unlock()
+	return copy(p, d), Addr{}, nil
+}
+
+// WriteTo implements net.PacketConn.
+func (c *StubConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	if c.WriteDelay > 0 {
+		time.Sleep(c.WriteDelay)
+	}
+	if c.FailWrites {
+		return 0, errors.New("fault: write refused")
+	}
+	c.writes.Add(1)
+	return len(p), nil
+}
+
+// Close implements net.PacketConn.
+func (c *StubConn) Close() error { return nil }
+
+// LocalAddr implements net.PacketConn.
+func (c *StubConn) LocalAddr() net.Addr { return Addr{} }
+
+// SetDeadline implements net.PacketConn.
+func (c *StubConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.PacketConn.
+func (c *StubConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.PacketConn.
+func (c *StubConn) SetWriteDeadline(time.Time) error { return nil }
+
+// DropRxConn wraps a real socket and silently discards the first n
+// datagrams it reads — deterministic fragment loss in front of a server.
+type DropRxConn struct {
+	net.PacketConn
+	mu      sync.Mutex
+	drop    int
+	dropped int
+}
+
+// DropFirst wraps pc so its first n reads are discarded.
+func DropFirst(pc net.PacketConn, n int) *DropRxConn {
+	return &DropRxConn{PacketConn: pc, drop: n}
+}
+
+// Dropped returns how many datagrams have been discarded so far.
+func (c *DropRxConn) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// ReadFrom implements net.PacketConn, losing the first `drop` datagrams.
+func (c *DropRxConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, addr, err
+		}
+		c.mu.Lock()
+		lose := c.dropped < c.drop
+		if lose {
+			c.dropped++
+		}
+		c.mu.Unlock()
+		if !lose {
+			return n, addr, nil
+		}
+	}
+}
+
+// ConnConfig parameterizes a lossy Conn. Probabilities are per-datagram in
+// [0, 1]; draws come from a seeded generator, so a single-reader serve loop
+// sees a reproducible loss pattern for a fixed seed.
+type ConnConfig struct {
+	// Seed drives every loss/corruption/duplication draw.
+	Seed uint64
+	// RxDrop is the probability an inbound datagram is silently lost.
+	RxDrop float64
+	// RxCorrupt is the probability an inbound datagram has one random bit
+	// flipped — the wire-level damage a checksumless UDP payload carries
+	// straight into the decoder.
+	RxCorrupt float64
+	// TxDrop is the probability an outbound datagram is silently lost
+	// (reported as written, as a congested network would).
+	TxDrop float64
+	// TxDup is the probability an outbound datagram is sent twice — the
+	// duplication clients must tolerate by request ID.
+	TxDup float64
+}
+
+// ConnStats counts the faults a Conn has injected.
+type ConnStats struct {
+	RxDropped, RxCorrupted, TxDropped, TxDuplicated uint64
+}
+
+// Conn wraps a net.PacketConn with seeded, per-datagram network faults:
+// inbound drop and bit corruption, outbound drop and duplication. It
+// generalizes the ad-hoc lossy wrappers the lifecycle tests grew, as one
+// reusable chaos component.
+type Conn struct {
+	net.PacketConn
+
+	mu    sync.Mutex // guards rng and stats
+	rng   *rand.Rand
+	cfg   ConnConfig
+	stats ConnStats
+}
+
+// NewConn wraps pc with the configured fault behaviour.
+func NewConn(pc net.PacketConn, cfg ConnConfig) *Conn {
+	return &Conn{PacketConn: pc, rng: rand.New(rand.NewPCG(cfg.Seed, 0xc044)), cfg: cfg}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *Conn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ReadFrom implements net.PacketConn: datagrams may be dropped (the read
+// retries for the next one, as the kernel would simply never surface a lost
+// packet) or have one bit flipped.
+func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, addr, err
+		}
+		c.mu.Lock()
+		if c.rng.Float64() < c.cfg.RxDrop {
+			c.stats.RxDropped++
+			c.mu.Unlock()
+			continue
+		}
+		if n > 0 && c.rng.Float64() < c.cfg.RxCorrupt {
+			pos := c.rng.IntN(n * 8)
+			p[pos/8] ^= 1 << (pos % 8)
+			c.stats.RxCorrupted++
+		}
+		c.mu.Unlock()
+		return n, addr, nil
+	}
+}
+
+// WriteTo implements net.PacketConn: datagrams may be silently dropped
+// (reported as sent) or duplicated.
+func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.cfg.TxDrop
+	dup := !drop && c.rng.Float64() < c.cfg.TxDup
+	if drop {
+		c.stats.TxDropped++
+	}
+	if dup {
+		c.stats.TxDuplicated++
+	}
+	c.mu.Unlock()
+	if drop {
+		return len(p), nil
+	}
+	n, err := c.PacketConn.WriteTo(p, addr)
+	if err != nil {
+		return n, err
+	}
+	if dup {
+		if _, derr := c.PacketConn.WriteTo(p, addr); derr != nil {
+			return n, derr
+		}
+	}
+	return n, nil
+}

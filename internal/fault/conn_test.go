@@ -1,0 +1,158 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+// memConn is a loopback PacketConn backing the lossy-wrapper tests: reads
+// pop a queue, writes append to a log.
+type memConn struct {
+	StubConn
+	wmu   sync.Mutex
+	wrote [][]byte
+}
+
+func (c *memConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.wmu.Lock()
+	c.wrote = append(c.wrote, append([]byte(nil), p...))
+	c.wmu.Unlock()
+	return len(p), nil
+}
+
+func (c *memConn) written() [][]byte {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.wrote
+}
+
+func TestStubConnQueueThenTimeout(t *testing.T) {
+	c := NewStubConn([][]byte{{1, 2}, {3}})
+	c.Enqueue([]byte{4, 5, 6})
+	buf := make([]byte, 16)
+	for i, want := range [][]byte{{1, 2}, {3}, {4, 5, 6}} {
+		n, addr, err := c.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if addr == nil || !bytes.Equal(buf[:n], want) {
+			t.Fatalf("read %d = %v, want %v", i, buf[:n], want)
+		}
+	}
+	_, _, err := c.ReadFrom(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("drained read error = %v, want a net timeout", err)
+	}
+}
+
+func TestStubConnWrites(t *testing.T) {
+	c := NewStubConn()
+	if _, err := c.WriteTo([]byte{1}, Addr{}); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if c.Writes() != 1 {
+		t.Fatalf("Writes = %d, want 1", c.Writes())
+	}
+	c.FailWrites = true
+	if _, err := c.WriteTo([]byte{1}, Addr{}); err == nil {
+		t.Fatal("FailWrites write succeeded")
+	}
+	if c.Writes() != 1 {
+		t.Fatalf("failed write counted: Writes = %d", c.Writes())
+	}
+}
+
+func TestDropFirst(t *testing.T) {
+	inner := NewStubConn([][]byte{{1}, {2}, {3}, {4}})
+	c := DropFirst(inner, 2)
+	buf := make([]byte, 4)
+	n, _, err := c.ReadFrom(buf)
+	if err != nil || buf[0] != 3 {
+		t.Fatalf("first surviving read = %v (n=%d, err=%v), want [3]", buf[:n], n, err)
+	}
+	if _, _, err := c.ReadFrom(buf); err != nil || buf[0] != 4 {
+		t.Fatalf("second surviving read = %v, err=%v, want [4]", buf[:1], err)
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", c.Dropped())
+	}
+}
+
+func TestConnRxDropAndCorrupt(t *testing.T) {
+	const datagrams = 400
+	inner := NewStubConn()
+	payload := []byte{0xAA, 0xAA, 0xAA, 0xAA}
+	for i := 0; i < datagrams; i++ {
+		inner.Enqueue(append([]byte(nil), payload...))
+	}
+	c := NewConn(inner, ConnConfig{Seed: 3, RxDrop: 0.25, RxCorrupt: 0.25})
+	buf := make([]byte, 8)
+	delivered, corrupted := 0, 0
+	for {
+		n, _, err := c.ReadFrom(buf)
+		if err != nil {
+			break // queue drained
+		}
+		delivered++
+		if !bytes.Equal(buf[:n], payload) {
+			corrupted++
+		}
+	}
+	st := c.Stats()
+	if int(st.RxDropped)+delivered != datagrams {
+		t.Fatalf("dropped %d + delivered %d != %d sent", st.RxDropped, delivered, datagrams)
+	}
+	if st.RxDropped == 0 || st.RxCorrupted == 0 {
+		t.Fatalf("no faults injected at 25%% rates: %+v", st)
+	}
+	if corrupted != int(st.RxCorrupted) {
+		t.Fatalf("observed %d corrupted datagrams, stats say %d", corrupted, st.RxCorrupted)
+	}
+}
+
+func TestConnTxDropAndDup(t *testing.T) {
+	const datagrams = 400
+	inner := &memConn{}
+	c := NewConn(inner, ConnConfig{Seed: 9, TxDrop: 0.2, TxDup: 0.2})
+	for i := 0; i < datagrams; i++ {
+		if _, err := c.WriteTo([]byte{byte(i)}, Addr{}); err != nil {
+			t.Fatalf("WriteTo %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.TxDropped == 0 || st.TxDuplicated == 0 {
+		t.Fatalf("no tx faults injected at 20%% rates: %+v", st)
+	}
+	want := datagrams - int(st.TxDropped) + int(st.TxDuplicated)
+	if got := len(inner.written()); got != want {
+		t.Fatalf("inner conn saw %d writes, want %d (%d sent - %d dropped + %d duped)",
+			got, want, datagrams, st.TxDropped, st.TxDuplicated)
+	}
+}
+
+func TestConnDeterministicBySeed(t *testing.T) {
+	run := func(seed uint64) ConnStats {
+		inner := NewStubConn()
+		for i := 0; i < 200; i++ {
+			inner.Enqueue([]byte{byte(i), byte(i >> 8)})
+		}
+		c := NewConn(inner, ConnConfig{Seed: seed, RxDrop: 0.3, RxCorrupt: 0.3})
+		buf := make([]byte, 8)
+		for {
+			if _, _, err := c.ReadFrom(buf); err != nil {
+				break
+			}
+		}
+		return c.Stats()
+	}
+	if a, b := run(42), run(42); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a, b := run(42), run(43); a == b {
+		t.Fatalf("different seeds produced identical fault patterns: %+v", a)
+	}
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// BiasRunaway models a bias-controller fault: the DC bias applied to a
+// lane's first modulator jumps by DeltaVolts off the locked null, exactly
+// the condition Appendix B's 1% tap monitor exists to catch. Readings stay
+// plausible but wrong — the silent-corruption fault class only a
+// known-answer probe detects. Healed by Relock (re-lock + recalibration).
+type BiasRunaway struct {
+	// Lane selects the wavelength lane.
+	Lane int
+	// DeltaVolts is the bias excursion (the prototype's Vpi is 5 V, so a
+	// volt or two is a catastrophic miscalibration).
+	DeltaVolts float64
+}
+
+// Name implements Fault.
+func (f BiasRunaway) Name() string {
+	return fmt.Sprintf("bias-runaway(lane=%d, %+.2fV)", f.Lane, f.DeltaVolts)
+}
+
+// Apply implements Fault.
+func (f BiasRunaway) Apply(t Target) error {
+	l, err := lane(t, f.Name(), f.Lane)
+	if err != nil {
+		return err
+	}
+	l.Mod1.Bias += f.DeltaVolts
+	return nil
+}
+
+// DriftBurst applies a seeded thermal random walk to every modulator of the
+// core for Steps steps — time-compressed ThermalDrift, for plans that want
+// gradual degradation rather than a step change. Healed by Relock.
+type DriftBurst struct {
+	// StepVolts is the per-step random-walk standard deviation.
+	StepVolts float64
+	// Steps is how many walk steps to compress into the injection.
+	Steps int
+	// Seed drives the walk; the same seed always produces the same drift.
+	Seed uint64
+}
+
+// Name implements Fault.
+func (f DriftBurst) Name() string {
+	return fmt.Sprintf("drift-burst(σ=%.3fV × %d)", f.StepVolts, f.Steps)
+}
+
+// Apply implements Fault.
+func (f DriftBurst) Apply(t Target) error {
+	if t.Core == nil {
+		return errNoSurface(f.Name(), "photonic core")
+	}
+	d := photonic.NewThermalDrift(f.StepVolts, f.Seed)
+	for i := 0; i < f.Steps; i++ {
+		for _, l := range t.Core.Lanes() {
+			d.Apply(l.Mod1)
+			d.Apply(l.Mod2)
+		}
+	}
+	return nil
+}
+
+// LaserSag scales the core's carrier power by Factor (0.5 ≈ a 3 dB sag):
+// every reading shrinks proportionally because the detector decode
+// constants still assume the calibrated power. Healed by Relock, which
+// renormalizes the decode calibration at the sagged power.
+type LaserSag struct {
+	// Factor multiplies the current carrier power (must be positive; a
+	// factor above 1 models an overshooting source).
+	Factor float64
+}
+
+// Name implements Fault.
+func (f LaserSag) Name() string { return fmt.Sprintf("laser-sag(×%.2f)", f.Factor) }
+
+// Apply implements Fault.
+func (f LaserSag) Apply(t Target) error {
+	if t.Core == nil {
+		return errNoSurface(f.Name(), "photonic core")
+	}
+	if f.Factor <= 0 {
+		return fmt.Errorf("fault: %s: factor must be positive", f.Name())
+	}
+	t.Core.SetCarrierPower(t.Core.CarrierPower() * f.Factor)
+	return nil
+}
+
+// DeadLane extinguishes a wavelength lane permanently — a comb-line dropout
+// or fiber break. Not healable: Relock fails on a dead lane, so a shard hit
+// by this fault stays quarantined until hardware repair.
+type DeadLane struct {
+	// Lane selects the wavelength lane to kill.
+	Lane int
+}
+
+// Name implements Fault.
+func (f DeadLane) Name() string { return fmt.Sprintf("dead-lane(%d)", f.Lane) }
+
+// Apply implements Fault.
+func (f DeadLane) Apply(t Target) error {
+	l, err := lane(t, f.Name(), f.Lane)
+	if err != nil {
+		return err
+	}
+	l.Kill()
+	return nil
+}
+
+// lane resolves a lane index on the target's core.
+func lane(t Target, name string, i int) (*photonic.Lane, error) {
+	if t.Core == nil {
+		return nil, errNoSurface(name, "photonic core")
+	}
+	lanes := t.Core.Lanes()
+	if i < 0 || i >= len(lanes) {
+		return nil, fmt.Errorf("fault: %s: core has %d lanes", name, len(lanes))
+	}
+	return lanes[i], nil
+}

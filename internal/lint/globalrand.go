@@ -33,7 +33,8 @@ func GlobalRand() *Analyzer {
 		Match: func(pkgPath string) bool {
 			return pathIn(pkgPath, ModulePath,
 				"internal/photonic", "internal/emu", "internal/sim", "internal/nn",
-				"internal/converter", "internal/devkit", "internal/cyclesim")
+				"internal/converter", "internal/devkit", "internal/cyclesim",
+				"internal/fault")
 		},
 		Run: runGlobalRand,
 	}

@@ -70,15 +70,40 @@ func (s Spec) TransferTime(n int64) time.Duration {
 type DRAM struct {
 	Spec Spec
 
-	mu   sync.RWMutex // guards data, used and rng
+	mu   sync.RWMutex // guards data, used, rng and fault
 	data map[string][]byte
 	used int64
 	rng  *rand.Rand
 
+	// fault, when non-nil, intercepts every Load (the fault-injection
+	// seam internal/fault drives).
+	fault ReadFault
+
 	// reads and readBytes count accesses for the energy model.
 	reads     atomic.Uint64
 	readBytes atomic.Uint64
+	// faultedReads counts loads the injected fault hook failed outright —
+	// the uncorrectable-read-error count a memory controller would report.
+	faultedReads atomic.Uint64
 }
+
+// ReadFault intercepts a DRAM read: it receives the key and the stored
+// blob and returns the blob to serve — possibly a corrupted copy (bit
+// flips) — plus an ok flag; ok=false fails the read outright, modeling an
+// uncorrectable DRAM error. The hook must not mutate the stored blob and
+// must be safe for concurrent calls (every shard reads the shared DRAM).
+type ReadFault func(key string, blob []byte) ([]byte, bool)
+
+// SetReadFault installs (or, with nil, removes) the read-fault hook.
+func (d *DRAM) SetReadFault(f ReadFault) {
+	d.mu.Lock()
+	d.fault = f
+	d.mu.Unlock()
+}
+
+// FaultedReads returns the count of loads failed by the injected fault
+// hook.
+func (d *DRAM) FaultedReads() uint64 { return d.faultedReads.Load() }
 
 // New creates a DRAM with the given spec; seed drives latency jitter.
 func New(spec Spec, seed uint64) *DRAM {
@@ -123,13 +148,23 @@ func (d *DRAM) Delete(key string) {
 }
 
 // Load returns a stored blob without copying. Callers must not mutate it.
+// An installed ReadFault hook may corrupt the returned data (serving a
+// modified copy) or fail the read; failed reads are counted in
+// FaultedReads and return (nil, false) exactly as a missing blob would.
 func (d *DRAM) Load(key string) ([]byte, bool) {
 	d.mu.RLock()
 	b, ok := d.data[key]
+	f := d.fault
 	d.mu.RUnlock()
 	if ok {
 		d.reads.Add(1)
 		d.readBytes.Add(uint64(len(b)))
+	}
+	if ok && f != nil {
+		if b, ok = f(key, b); !ok {
+			d.faultedReads.Add(1)
+			return nil, false
+		}
 	}
 	return b, ok
 }

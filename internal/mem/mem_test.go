@@ -227,3 +227,61 @@ func TestKernelCacheEmptyHitRate(t *testing.T) {
 		t.Error("empty cache hit rate should be 0")
 	}
 }
+
+func TestReadFaultFailsReads(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	if err := d.Store("w", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	left := 2
+	d.SetReadFault(func(key string, blob []byte) ([]byte, bool) {
+		if left > 0 {
+			left--
+			return nil, false
+		}
+		return blob, true
+	})
+	for i := 0; i < 2; i++ {
+		if _, ok := d.Load("w"); ok {
+			t.Fatalf("load %d succeeded during fault burst", i)
+		}
+	}
+	if got := d.FaultedReads(); got != 2 {
+		t.Errorf("FaultedReads = %d, want 2", got)
+	}
+	if b, ok := d.Load("w"); !ok || len(b) != 3 {
+		t.Errorf("load after burst = %v, %v", b, ok)
+	}
+	d.SetReadFault(nil)
+	if _, ok := d.Load("w"); !ok {
+		t.Error("load failed after hook removed")
+	}
+}
+
+func TestReadFaultCorruptsCopyNotStore(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	if err := d.Store("w", []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	d.SetReadFault(func(key string, blob []byte) ([]byte, bool) {
+		cp := append([]byte(nil), blob...)
+		cp[0] ^= 0xff
+		return cp, true
+	})
+	if b, _ := d.Load("w"); b[0] != 0xff {
+		t.Errorf("corrupting hook not applied: % x", b)
+	}
+	d.SetReadFault(nil)
+	if b, _ := d.Load("w"); b[0] != 0 {
+		t.Errorf("stored blob was mutated: % x", b)
+	}
+}
+
+func TestReadFaultMissingKeyBypassesHook(t *testing.T) {
+	d := New(DDR4Spec(), 1)
+	called := false
+	d.SetReadFault(func(key string, blob []byte) ([]byte, bool) { called = true; return blob, true })
+	if _, ok := d.Load("absent"); ok || called {
+		t.Errorf("missing key: ok=%v hook called=%v", ok, called)
+	}
+}

@@ -19,7 +19,20 @@ type Lane struct {
 	// 256 entries per modulator. Real deployments bake the same table
 	// into the datapath to avoid inverting the transfer function online.
 	volt1, volt2 [256]float64
+
+	// dead marks a lost laser line: the lane emits no light at all, not
+	// even the dark-level floor, and no amount of bias re-locking brings
+	// it back (the carrier itself is gone).
+	dead bool
 }
+
+// Kill extinguishes the lane's laser line permanently — the hard failure a
+// comb-line dropout or fiber break causes. A dead lane transmits nothing
+// and Relock refuses it.
+func (l *Lane) Kill() { l.dead = true }
+
+// Dead reports whether the lane's laser line is lost.
+func (l *Lane) Dead() bool { return l.dead }
 
 // NewLane builds and calibrates a lane at the given wavelength. Each
 // modulator gets its own intrinsic phase offset (devices differ), is locked
@@ -53,6 +66,9 @@ func NewLane(w Wavelength, phase1, phase2 float64) (*Lane, error) {
 // TransmitCodes is the 8-bit fast path of Transmit: operands arrive as DAC
 // codes and drive voltages come from the calibrated lookup tables.
 func (l *Lane) TransmitCodes(carrier float64, a, b fixed.Code) float64 {
+	if l.dead {
+		return 0
+	}
 	i1 := l.Mod1.Modulate(carrier, l.volt1[a])
 	return l.Mod2.Modulate(i1, l.volt2[b])
 }
@@ -61,6 +77,9 @@ func (l *Lane) TransmitCodes(carrier float64, a, b fixed.Code) float64 {
 // modulators driven to encode normalized operands ua, ub in [0, 1] and
 // returns the double-modulated output intensity — proportional to ua×ub.
 func (l *Lane) Transmit(carrier, ua, ub float64) float64 {
+	if l.dead {
+		return 0
+	}
 	i1 := l.Mod1.Modulate(carrier, l.Cal1.VoltageFor(ua))
 	return l.Mod2.Modulate(i1, l.Cal2.VoltageFor(ub))
 }
@@ -89,9 +108,24 @@ type Core struct {
 	// derived at calibration time.
 	darkPerLane float64
 	spanPerLane float64
+	// carrier is the per-lane laser intensity feeding the modulators
+	// (1.0 nominal). The detector decode constants above are derived for
+	// the carrier power seen at calibration time, so a power change
+	// corrupts readings until the next Relock recalibrates.
+	carrier float64
 	// Steps counts analog time steps performed, for throughput accounting.
 	Steps uint64
 }
+
+// CarrierPower returns the per-lane carrier intensity feeding the lanes.
+func (c *Core) CarrierPower() float64 { return c.carrier }
+
+// SetCarrierPower changes the laser output power driving every lane — the
+// slow sag (or an operator-commanded trim) of a real source. The detector
+// decode constants are deliberately left stale: a sagging laser scales every
+// reading until Relock recalibrates at the new operating point, which is
+// exactly the failure signature a deployment's health monitor must catch.
+func (c *Core) SetCarrierPower(p float64) { c.carrier = p }
 
 // NewCore builds a core with n wavelength lanes and the given noise model
 // (nil for an ideal channel). Lane phase offsets are deterministic but
@@ -109,7 +143,7 @@ func NewCore(n int, noise *NoiseModel) (*Core, error) {
 		}
 		lanes[i] = l
 	}
-	c := &Core{lanes: lanes, pd: NewPhotodetector(), noise: noise}
+	c := &Core{lanes: lanes, pd: NewPhotodetector(), noise: noise, carrier: 1}
 	c.darkPerLane = lanes[0].dark(1)
 	c.spanPerLane = lanes[0].full(1) - c.darkPerLane
 	return c, nil
@@ -153,9 +187,10 @@ func NewPrototypeCore(seed uint64) (*Core, error) {
 		return nil, err
 	}
 	c := &Core{
-		lanes: []*Lane{l1, l2},
-		pd:    NewPhotodetector(),
-		noise: PrototypeNoise(seed),
+		lanes:   []*Lane{l1, l2},
+		pd:      NewPhotodetector(),
+		noise:   PrototypeNoise(seed),
+		carrier: 1,
 	}
 	c.darkPerLane = l1.dark(1)
 	c.spanPerLane = l1.full(1) - c.darkPerLane
@@ -183,7 +218,7 @@ func (c *Core) Step(a, b []fixed.Code) float64 {
 		// The WDM mux combines the lanes and the photodetector sums all
 		// incident wavelengths; intensity addition is associative, so sum
 		// directly rather than materializing the muxed field.
-		detected += c.lanes[i].TransmitCodes(1, a[i], b[i])
+		detected += c.lanes[i].TransmitCodes(c.carrier, a[i], b[i])
 	}
 	detected = c.pd.DarkLevel + c.pd.Responsivity*detected
 	// Background-subtract the active lanes' dark level and decode to code

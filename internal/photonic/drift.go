@@ -1,6 +1,9 @@
 package photonic
 
-import "math/rand/v2"
+import (
+	"fmt"
+	"math/rand/v2"
+)
 
 // ThermalDrift models the slow random walk of a modulator's operating point
 // with temperature — the effect the packaged bias controller exists to
@@ -26,8 +29,13 @@ func (d *ThermalDrift) Apply(m *MZModulator) {
 
 // Relock runs the bias controller and refreshes a lane's encode calibration
 // at the current operating point — the maintenance action a deployment
-// schedules (or triggers from the 1% tap monitor).
+// schedules (or triggers from the 1% tap monitor). A dead lane cannot be
+// re-locked: with no carrier there is no tap light for the controller to
+// servo on, so the fault is permanent until the laser line is repaired.
 func (l *Lane) Relock() error {
+	if l.dead {
+		return fmt.Errorf("photonic: lane λ=%.2f nm is dead (carrier lost); relock impossible", float64(l.Lambda))
+	}
 	bc := NewBiasController()
 	bc.Lock(l.Mod1, 1)
 	bc.Lock(l.Mod2, 1)
@@ -55,9 +63,12 @@ func (c *Core) Relock() error {
 			return err
 		}
 	}
-	// The detector-side constants move with the new operating points.
-	c.darkPerLane = c.lanes[0].dark(1)
-	c.spanPerLane = c.lanes[0].full(1) - c.darkPerLane
+	// The detector-side constants move with the new operating points, and
+	// are measured at the carrier power actually feeding the lanes — so a
+	// sagged laser is renormalized into the decode calibration here, which
+	// is what heals a LaserSag fault.
+	c.darkPerLane = c.lanes[0].dark(c.carrier)
+	c.spanPerLane = c.lanes[0].full(c.carrier) - c.darkPerLane
 	return nil
 }
 

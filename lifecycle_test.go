@@ -6,10 +6,10 @@ import (
 	"net"
 	"net/netip"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/lightning-smartnic/lightning/internal/fault"
 	"github.com/lightning-smartnic/lightning/internal/fixed"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 	"github.com/lightning-smartnic/lightning/internal/nn"
@@ -39,59 +39,9 @@ func halvesModel(width int) *TrainedModel {
 	}
 }
 
-type stubAddr struct{}
-
-func (stubAddr) Network() string { return "udp" }
-func (stubAddr) String() string  { return "stub:0" }
-
-type stubTimeout struct{}
-
-func (stubTimeout) Error() string   { return "stub: i/o timeout" }
-func (stubTimeout) Timeout() bool   { return true }
-func (stubTimeout) Temporary() bool { return true }
-
-// stubPacketConn feeds a fixed set of datagrams to the serve loop as fast
-// as it can read them, then times out forever — a deterministic stand-in
-// for a socket under burst load. Writes are recorded (and optionally fail,
-// or stall to hold a worker busy).
-type stubPacketConn struct {
-	mu    sync.Mutex
-	queue [][]byte
-
-	writes     atomic.Uint64
-	failWrites bool
-	writeDelay time.Duration
-}
-
-func (c *stubPacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
-	c.mu.Lock()
-	if len(c.queue) == 0 {
-		c.mu.Unlock()
-		time.Sleep(time.Millisecond)
-		return 0, nil, stubTimeout{}
-	}
-	d := c.queue[0]
-	c.queue = c.queue[1:]
-	c.mu.Unlock()
-	return copy(p, d), stubAddr{}, nil
-}
-
-func (c *stubPacketConn) WriteTo(p []byte, _ net.Addr) (int, error) {
-	if c.writeDelay > 0 {
-		time.Sleep(c.writeDelay)
-	}
-	if c.failWrites {
-		return 0, errors.New("stub: write refused")
-	}
-	c.writes.Add(1)
-	return len(p), nil
-}
-
-func (c *stubPacketConn) Close() error                     { return nil }
-func (c *stubPacketConn) LocalAddr() net.Addr              { return stubAddr{} }
-func (c *stubPacketConn) SetDeadline(time.Time) error      { return nil }
-func (c *stubPacketConn) SetReadDeadline(time.Time) error  { return nil }
-func (c *stubPacketConn) SetWriteDeadline(time.Time) error { return nil }
+// The stub and lossy PacketConn wrappers these tests once defined inline
+// now live in internal/fault (StubConn, DropFirst), shared with the chaos
+// suite.
 
 func encodeQuery(t *testing.T, id uint32, modelID uint16, payload []byte) []byte {
 	t.Helper()
@@ -284,9 +234,9 @@ func TestServeUDPWorkersDrainOnCancel(t *testing.T) {
 	}
 	payload := make([]byte, width)
 	const sent = 40
-	pc := &stubPacketConn{}
+	pc := fault.NewStubConn()
 	for i := 0; i < sent; i++ {
-		pc.queue = append(pc.queue, encodeQuery(t, uint32(i+1), 4, payload))
+		pc.Enqueue(encodeQuery(t, uint32(i+1), 4, payload))
 	}
 	// Cancel up front: the reader still drains every buffered datagram
 	// before it sees the idle tick, then the queue drains through the
@@ -300,7 +250,7 @@ func TestServeUDPWorkersDrainOnCancel(t *testing.T) {
 	if m.Served+m.Serve.QueueFull != sent {
 		t.Errorf("Served (%d) + QueueFull (%d) != sent (%d)", m.Served, m.Serve.QueueFull, sent)
 	}
-	if got := pc.writes.Load(); got != m.Served {
+	if got := pc.Writes(); got != m.Served {
 		t.Errorf("responses flushed = %d, served = %d", got, m.Served)
 	}
 	if err := n.Drain(context.Background()); err != nil {
@@ -320,9 +270,10 @@ func TestServeUDPWorkersQueueFullBackpressure(t *testing.T) {
 	}
 	payload := make([]byte, width)
 	const sent = 64
-	pc := &stubPacketConn{writeDelay: 2 * time.Millisecond}
+	pc := fault.NewStubConn()
+	pc.WriteDelay = 2 * time.Millisecond
 	for i := 0; i < sent; i++ {
-		pc.queue = append(pc.queue, encodeQuery(t, uint32(i+1), 4, payload))
+		pc.Enqueue(encodeQuery(t, uint32(i+1), 4, payload))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -347,10 +298,11 @@ func TestServeUDPCountsDecodeAndWriteErrors(t *testing.T) {
 	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
 		t.Fatal(err)
 	}
-	pc := &stubPacketConn{failWrites: true}
-	pc.queue = append(pc.queue, []byte{0xde, 0xad, 0xbe, 0xef}) // garbage
-	pc.queue = append(pc.queue, encodeQuery(t, 1, 4, make([]byte, width)))
-	pc.queue = append(pc.queue, encodeQuery(t, 2, 4, make([]byte, width)))
+	pc := fault.NewStubConn()
+	pc.FailWrites = true
+	pc.Enqueue([]byte{0xde, 0xad, 0xbe, 0xef}) // garbage
+	pc.Enqueue(encodeQuery(t, 1, 4, make([]byte, width)))
+	pc.Enqueue(encodeQuery(t, 2, 4, make([]byte, width)))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if err := n.ServeUDP(ctx, pc); err != nil {
@@ -365,34 +317,6 @@ func TestServeUDPCountsDecodeAndWriteErrors(t *testing.T) {
 	}
 	if m.Served != 2 {
 		t.Errorf("Served = %d, want 2", m.Served)
-	}
-}
-
-// lossyPacketConn wraps a real socket and silently discards the first
-// `drop` datagrams it reads — deterministic fragment loss in front of the
-// server.
-type lossyPacketConn struct {
-	net.PacketConn
-	mu      sync.Mutex
-	drop    int
-	dropped int
-}
-
-func (c *lossyPacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
-	for {
-		n, addr, err := c.PacketConn.ReadFrom(p)
-		if err != nil {
-			return n, addr, err
-		}
-		c.mu.Lock()
-		lose := c.dropped < c.drop
-		if lose {
-			c.dropped++
-		}
-		c.mu.Unlock()
-		if !lose {
-			return n, addr, nil
-		}
 	}
 }
 
@@ -411,7 +335,7 @@ func TestClientRetryAgainstLossyServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer inner.Close()
-	pc := &lossyPacketConn{PacketConn: inner, drop: 1}
+	pc := fault.DropFirst(inner, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- n.ServeUDP(ctx, pc) }()

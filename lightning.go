@@ -79,6 +79,31 @@ type Config struct {
 	// (default nic.DefaultReassemblyTTL). The timer starts at the first
 	// fragment.
 	ReassemblyTTL time.Duration
+	// HealthWindow is the per-shard sliding window length, in served
+	// queries, over which the health score (error rate) is computed
+	// (default 32).
+	HealthWindow int
+	// HealthThreshold is the windowed error rate at or above which a
+	// shard's circuit breaker trips, once its window has filled
+	// (default 0.5).
+	HealthThreshold float64
+	// ProbeEvery runs a known-answer probe through a shard's core every
+	// ProbeEvery served queries, catching silent analog corruption (a bias
+	// runaway, a carrier sag) that still yields well-formed responses.
+	// Default 0 disables periodic probes: each probe consumes draws from
+	// the shard's noise stream, which would perturb bit-exact reproducible
+	// runs. Probes always gate quarantine recovery regardless.
+	ProbeEvery int
+	// ProbeTolerance is the mean absolute known-answer error, in code
+	// units, beyond which a probe fails (default 3.0 — several sigma above
+	// the calibrated noise floor).
+	ProbeTolerance float64
+	// RelockAttempts bounds how many re-lock + probe recovery attempts a
+	// quarantined shard gets before it is left quarantined (default 3).
+	RelockAttempts int
+	// RelockBackoff is the delay before the second recovery attempt,
+	// doubling each attempt after (default 10ms).
+	RelockBackoff time.Duration
 }
 
 // DefaultConfig matches the §6 prototype.
@@ -95,10 +120,42 @@ const shardSeedStride = 1000
 type shard struct {
 	mu     sync.Mutex
 	loader *dagloader.Loader
+	// core is the shard's photonic core — the health subsystem probes it
+	// and the fault framework corrupts it, always under mu.
+	core  *photonic.Core
+	index int
 
 	// totals aggregates datapath cycle accounting across this shard's
 	// served queries (guarded by mu).
 	totals datapath.LayerStats
+
+	// state is the circuit-breaker position (a ShardState), atomic so the
+	// dispatch path reads it without taking any lock.
+	state atomic.Int32
+
+	// hmu guards the health window and probation bookkeeping below. It is
+	// separate from mu so health scoring never contends with a query
+	// occupying the datapath.
+	hmu    sync.Mutex
+	window []bool
+	wpos   int
+	wcount int
+	werrs  int
+	// sinceProbe counts served queries since the last periodic probe.
+	sinceProbe int
+	// trialsLeft is the remaining clean probation outcomes before
+	// readmission.
+	trialsLeft int
+
+	// Per-shard health counters (satellite of the aggregate Metrics).
+	servedQ        atomic.Uint64
+	errQ           atomic.Uint64
+	quarantines    atomic.Uint64
+	readmissions   atomic.Uint64
+	probes         atomic.Uint64
+	probeFailures  atomic.Uint64
+	relocks        atomic.Uint64
+	relockFailures atomic.Uint64
 }
 
 // NIC is a Lightning smartNIC instance. All exported methods are safe for
@@ -119,6 +176,20 @@ type NIC struct {
 	// inflight counts HandleMessage calls currently in the datapath;
 	// Drain waits for it to reach zero.
 	inflight atomic.Int64
+	// recovering counts in-flight shard recovery goroutines; Drain waits
+	// for these too, so a drained NIC has no background relock activity.
+	recovering atomic.Int64
+	// unavailable counts queries refused because every shard was
+	// quarantined.
+	unavailable atomic.Uint64
+
+	// Resolved health policy (see Config).
+	healthWindow    int
+	healthThreshold float64
+	probeEvery      int
+	probeTolerance  float64
+	relockAttempts  int
+	relockBackoff   time.Duration
 
 	// Serve-edge loss accounting: datagrams dropped before the datapath
 	// and responses lost after it.
@@ -156,8 +227,10 @@ type Metrics struct {
 	PhotonicSteps, ComputeCycles, DatapathCycles uint64
 	// PreambleMisses counts exception-path fallbacks.
 	PreambleMisses uint64
-	// DRAMReads and DRAMReadBytes count weight-store traffic.
-	DRAMReads, DRAMReadBytes uint64
+	// DRAMReads and DRAMReadBytes count weight-store traffic;
+	// DRAMFaultedReads counts loads failed by an injected read fault (the
+	// uncorrectable-error count a memory controller would report).
+	DRAMReads, DRAMReadBytes, DRAMFaultedReads uint64
 	// TxFrames and TxBytes count link-side responses.
 	TxFrames, TxBytes uint64
 	// PendingReassembly is the in-flight fragmented query count;
@@ -173,6 +246,11 @@ type Metrics struct {
 	TapWriteErrors uint64
 	// Serve accounts per-reason losses at the UDP serve path's edges.
 	Serve ServeDrops
+	// Shards holds one health snapshot per photonic-core shard, in shard
+	// order.
+	Shards []ShardHealth
+	// Health aggregates the self-healing subsystem across shards.
+	Health HealthStats
 }
 
 // ServeDrops counts datagrams and responses lost at the edges of the serve
@@ -199,6 +277,7 @@ func (n *NIC) Metrics() Metrics {
 		Parser:            n.parser.Stats(),
 		DRAMReads:         n.store.DRAM.Reads(),
 		DRAMReadBytes:     n.store.DRAM.ReadBytes(),
+		DRAMFaultedReads:  n.store.DRAM.FaultedReads(),
 		TxFrames:          n.link.TxFrames(),
 		TxBytes:           n.link.TxBytes(),
 		PendingReassembly: n.reassembly.Pending(),
@@ -212,7 +291,9 @@ func (n *NIC) Metrics() Metrics {
 			DeadlineErrors: n.deadlineErrors.Load(),
 		},
 	}
-	for _, sh := range n.shards {
+	m.Shards = make([]ShardHealth, len(n.shards))
+	m.Health.Unavailable = n.unavailable.Load()
+	for i, sh := range n.shards {
 		sh.mu.Lock()
 		m.Reconfigurations += sh.loader.Reconfigurations
 		m.PhotonicSteps += sh.totals.PhotonicSteps
@@ -220,6 +301,14 @@ func (n *NIC) Metrics() Metrics {
 		m.DatapathCycles += sh.totals.DatapathCycles
 		m.PreambleMisses += sh.totals.PreambleMisses
 		sh.mu.Unlock()
+		h := sh.health()
+		m.Shards[i] = h
+		m.Health.Quarantines += h.Quarantines
+		m.Health.Readmissions += h.Readmissions
+		m.Health.Probes += h.Probes
+		m.Health.ProbeFailures += h.ProbeFailures
+		m.Health.Relocks += h.Relocks
+		m.Health.RelockFailures += h.RelockFailures
 	}
 	return m
 }
@@ -272,31 +361,58 @@ func New(cfg Config) (*NIC, error) {
 	}
 	dram := mem.New(mem.DDR4Spec(), cfg.Seed+2)
 	store := dagloader.NewStore(dram)
+	if cfg.HealthWindow <= 0 {
+		cfg.HealthWindow = defaultHealthWindow
+	}
+	if cfg.HealthThreshold <= 0 {
+		cfg.HealthThreshold = defaultHealthThreshold
+	}
+	if cfg.ProbeTolerance <= 0 {
+		cfg.ProbeTolerance = defaultProbeTolerance
+	}
+	if cfg.RelockAttempts <= 0 {
+		cfg.RelockAttempts = defaultRelockAttempts
+	}
+	if cfg.RelockBackoff <= 0 {
+		cfg.RelockBackoff = defaultRelockBackoff
+	}
 	shards := make([]*shard, cores)
 	for i, core := range pcores {
 		engine := datapath.NewEngine(core, cfg.Seed+shardSeedStride*uint64(i)+1)
-		shards[i] = &shard{loader: dagloader.NewLoaderWithStore(engine, store)}
+		shards[i] = &shard{
+			loader: dagloader.NewLoaderWithStore(engine, store),
+			core:   core,
+			index:  i,
+			window: make([]bool, cfg.HealthWindow),
+		}
 	}
 	ttl := cfg.ReassemblyTTL
 	if ttl <= 0 {
 		ttl = nic.DefaultReassemblyTTL
 	}
 	return &NIC{
-		parser:     nic.NewParser(),
-		link:       nic.NewLink(),
-		reassembly: nic.NewReassemblerTTL(256, ttl),
-		store:      store,
-		shards:     shards,
+		parser:          nic.NewParser(),
+		link:            nic.NewLink(),
+		reassembly:      nic.NewReassemblerTTL(256, ttl),
+		store:           store,
+		shards:          shards,
+		healthWindow:    cfg.HealthWindow,
+		healthThreshold: cfg.HealthThreshold,
+		probeEvery:      cfg.ProbeEvery,
+		probeTolerance:  cfg.ProbeTolerance,
+		relockAttempts:  cfg.RelockAttempts,
+		relockBackoff:   cfg.RelockBackoff,
 	}, nil
 }
 
 // Drain blocks until every in-flight HandleMessage call has left the
-// datapath, or the context expires. It does not stop new work from arriving;
-// callers stop their ingest first (ServeUDP and ServeUDPWorkers do this
-// internally on context cancellation before they return).
+// datapath and every background shard recovery has finished, or the context
+// expires. It does not stop new work from arriving; callers stop their
+// ingest first (ServeUDP and ServeUDPWorkers do this internally on context
+// cancellation before they return).
 func (n *NIC) Drain(ctx context.Context) error {
 	for {
-		if n.inflight.Load() == 0 {
+		if n.inflight.Load() == 0 && n.recovering.Load() == 0 {
 			return nil
 		}
 		select {
@@ -329,8 +445,11 @@ func (n *NIC) UpdateModel(id uint16, q *TrainedModel) error {
 // queries (large vision inputs, §4/Table 6) accumulate in the packet
 // assembler; non-final fragments return (nil, nil).
 //
-// Queries dispatch round-robin across the core shards; with Cores > 1,
-// concurrent callers run inference truly in parallel.
+// Queries dispatch round-robin across the healthy core shards; with
+// Cores > 1, concurrent callers run inference truly in parallel. Quarantined
+// shards are skipped; when every shard is quarantined the NIC answers with
+// an Err-flagged response and ErrUnavailable rather than a silently wrong
+// result.
 func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	if msg.IsResponse() {
 		return nil, fmt.Errorf("lightning: received a response message")
@@ -349,7 +468,22 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 		input[i] = Code(b)
 	}
 	msg = &Message{Flags: msg.Flags, RequestID: msg.RequestID, ModelID: modelID, Payload: query}
-	sh := n.shards[(n.next.Add(1)-1)%uint64(len(n.shards))]
+	// Classify client mistakes (unknown model, wrong input width) before
+	// dispatch: they are rejected by the loader's validation without ever
+	// touching analog hardware, so they must not count against any shard's
+	// health — a burst of malformed queries is not a hardware fault.
+	mc, known := n.store.Model(msg.ModelID)
+	clientErr := !known || len(input) != mc.Layers[0].In
+	var sh *shard
+	if clientErr {
+		// Any shard can issue the rejection, even a quarantined one: the
+		// loader validates before the datapath runs, keeping the canonical
+		// error text while a degraded NIC still answers client mistakes.
+		sh = n.shards[(n.next.Add(1)-1)%uint64(len(n.shards))]
+	} else if sh = n.pickShard(); sh == nil {
+		n.unavailable.Add(1)
+		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, ErrUnavailable
+	}
 	sh.mu.Lock()
 	res, err := sh.loader.Serve(msg.ModelID, input)
 	if err == nil {
@@ -357,6 +491,14 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 		sh.totals.Add(res.Stats)
 	}
 	sh.mu.Unlock()
+	if !clientErr {
+		if err == nil {
+			sh.servedQ.Add(1)
+		} else {
+			sh.errQ.Add(1)
+		}
+		n.recordOutcome(sh, err != nil)
+	}
 	if err != nil {
 		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
 	}

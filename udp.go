@@ -170,9 +170,17 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 	}
 }
 
+// ErrUnavailable is the typed error HandleMessage returns (alongside an
+// Err-flagged response) when every photonic-core shard is quarantined: the
+// NIC is degraded but honest, refusing queries it can no longer answer
+// correctly rather than serving silently wrong results. Recovery relocks
+// lift the condition without a restart.
+var ErrUnavailable = errors.New("lightning: unavailable: every core shard is quarantined")
+
 // ServerError is the typed error a Client returns when the NIC answered
-// with an Err-flagged response: unknown model, malformed fragments, or a
-// datapath failure. The response itself is still returned alongside it.
+// with an Err-flagged response: unknown model, malformed fragments, a
+// datapath failure, or a fully quarantined (unavailable) NIC. The response
+// itself is still returned alongside it.
 type ServerError struct {
 	RequestID uint32
 	ModelID   uint16
