@@ -19,7 +19,6 @@ import (
 	"github.com/lightning-smartnic/lightning/internal/converter"
 	"github.com/lightning-smartnic/lightning/internal/countaction"
 	"github.com/lightning-smartnic/lightning/internal/cyclesim"
-	"github.com/lightning-smartnic/lightning/internal/dagloader"
 	"github.com/lightning-smartnic/lightning/internal/datapath"
 	"github.com/lightning-smartnic/lightning/internal/dataset"
 	"github.com/lightning-smartnic/lightning/internal/emu"
@@ -103,22 +102,10 @@ func BenchmarkPhotonicMAC(b *testing.B) {
 	}
 }
 
-func BenchmarkPhotonicDot1024(b *testing.B) {
-	core, err := photonic.NewCore(2, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	x := make([]fixed.Code, 1024)
-	y := make([]fixed.Code, 1024)
-	for i := range x {
-		x[i], y[i] = fixed.Code(i), fixed.Code(255-i%256)
-	}
-	b.SetBytes(2048)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.Dot(x, y)
-	}
-}
+// BenchmarkPhotonicDot1024, BenchmarkEndToEndInference and
+// BenchmarkServeCoresScaling live in bench_trajectory_test.go (external test
+// package), delegating to internal/bench so `go test -bench` and
+// `lightning-bench -bench` measure the same code.
 
 func BenchmarkCountActionRule(b *testing.B) {
 	r := countaction.New("bench", 16, nil)
@@ -156,29 +143,6 @@ func BenchmarkPreambleDetection(b *testing.B) {
 	}
 }
 
-func BenchmarkEndToEndInference(b *testing.B) {
-	set := dataset.Anomaly(300, 1)
-	net := nn.New(1, dataset.FlowFeatureWidth, 16, 8, 2)
-	cfg := nn.DefaultTrainConfig()
-	cfg.Epochs = 5
-	net.Train(set, cfg)
-	q := nn.Quantize(net, set)
-	core, err := photonic.NewCore(2, photonic.CalibratedNoise(1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	loader := dagloader.NewLoader(datapath.NewEngine(core, 1), mem.New(mem.DDR4Spec(), 1))
-	if err := loader.RegisterModel(1, "anomaly", q); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := loader.Serve(1, set.Examples[i%len(set.Examples)].X); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 // benchModel trains the small anomaly classifier the serve benches share.
 func benchModel(b *testing.B) (*nn.QuantizedNetwork, []byte) {
 	b.Helper()
@@ -193,36 +157,6 @@ func benchModel(b *testing.B) (*nn.QuantizedNetwork, []byte) {
 		raw[i] = byte(c)
 	}
 	return q, raw
-}
-
-// BenchmarkServeCoresScaling measures concurrent inference throughput as the
-// photonic core shard count grows (Config.Cores, the §7 replicated-core
-// scaling). Queries arrive from GOMAXPROCS goroutines, as ServeUDPWorkers'
-// worker pool would deliver them; with one shard they serialize at the
-// single photonic pipeline, with N shards up to N run in parallel, so
-// ns/op should drop toward 1/N on a multi-core host.
-func BenchmarkServeCoresScaling(b *testing.B) {
-	q, raw := benchModel(b)
-	for _, cores := range []int{1, 2, 4} {
-		b.Run(fmtInt("cores", cores), func(b *testing.B) {
-			n, err := New(Config{Lanes: 2, Seed: 1, Cores: cores})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := n.RegisterModel(1, "anomaly", q); err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
-					msg := &Message{RequestID: 1, ModelID: 1, Payload: raw}
-					if _, err := n.HandleMessage(msg); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-		})
-	}
 }
 
 // BenchmarkServeCoresScalingHealth isolates the health subsystem's cost on

@@ -1,0 +1,23 @@
+package lightning_test
+
+// The performance-trajectory benchmarks — the ones BENCH_PR5.json pins —
+// delegate to internal/bench so `go test -bench` and the standalone
+// `lightning-bench -bench` runner measure exactly the same code. This file
+// sits in the external test package because internal/bench imports the root
+// package (for the sharded serve path), which an in-package test file could
+// not import back.
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/bench"
+)
+
+func BenchmarkPhotonicDot1024(b *testing.B)   { bench.PhotonicDot1024(b) }
+func BenchmarkEndToEndInference(b *testing.B) { bench.EndToEndInference(b) }
+
+func BenchmarkServeCoresScaling(b *testing.B) {
+	for _, cores := range bench.ServeCoresSweep {
+		b.Run(bench.ServeCoresName(cores)[len("ServeCoresScaling/"):], bench.ServeCores(cores))
+	}
+}

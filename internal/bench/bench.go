@@ -1,0 +1,149 @@
+// Package bench hosts the named benchmark set behind the performance
+// trajectory: the hot-path benchmarks that BENCH_PR5.json (and future
+// trajectory files) pin, written as ordinary func(*testing.B) so the same
+// code runs under `go test -bench` (via the delegating Benchmark* wrappers
+// in the root package's external test) and under `lightning-bench -bench`
+// (via testing.Benchmark, no test harness required).
+package bench
+
+import (
+	"testing"
+
+	lightning "github.com/lightning-smartnic/lightning"
+	"github.com/lightning-smartnic/lightning/internal/dagloader"
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/dataset"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// Benchmark is one named entry in the trajectory set.
+type Benchmark struct {
+	Name string
+	F    func(*testing.B)
+}
+
+// ServeCoresSweep is the shard-count series the cores-scaling benchmark
+// sweeps; the report derives its cores_scaling section from these points.
+var ServeCoresSweep = []int{1, 2, 4}
+
+// Set returns the trajectory benchmark set in report order.
+func Set() []Benchmark {
+	s := []Benchmark{
+		{Name: "PhotonicMAC", F: PhotonicMAC},
+		{Name: "PhotonicDot1024", F: PhotonicDot1024},
+		{Name: "EndToEndInference", F: EndToEndInference},
+	}
+	for _, cores := range ServeCoresSweep {
+		s = append(s, Benchmark{
+			Name: ServeCoresName(cores),
+			F:    ServeCores(cores),
+		})
+	}
+	return s
+}
+
+// ServeCoresName names one point of the cores-scaling series, matching the
+// sub-benchmark names `go test -bench ServeCoresScaling` prints.
+func ServeCoresName(cores int) string {
+	name := "ServeCoresScaling/cores="
+	if cores >= 10 {
+		name += string(rune('0' + cores/10))
+	}
+	return name + string(rune('0'+cores%10))
+}
+
+// PhotonicMAC measures one 8-bit photonic multiply through a single-lane
+// prototype core.
+func PhotonicMAC(b *testing.B) {
+	core, err := photonic.NewPrototypeCore(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Multiply(fixed.Code(i), fixed.Code(i*7))
+	}
+}
+
+// PhotonicDot1024 measures a 1024-element dot product on a two-lane core —
+// the LUT fast path's headline number. SetBytes(2048) counts the two
+// 1024-byte operand vectors, so MB/s is operand throughput.
+func PhotonicDot1024(b *testing.B) {
+	core, err := photonic.NewCore(2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]fixed.Code, 1024)
+	y := make([]fixed.Code, 1024)
+	for i := range x {
+		x[i], y[i] = fixed.Code(i), fixed.Code(255-i%256)
+	}
+	b.SetBytes(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Dot(x, y)
+	}
+}
+
+// EndToEndInference measures one query through the full single-engine
+// datapath: DAG loader, DRAM weight streams, preambles, analog steps,
+// readout, reassembly, activations.
+func EndToEndInference(b *testing.B) {
+	set := dataset.Anomaly(300, 1)
+	net := nn.New(1, dataset.FlowFeatureWidth, 16, 8, 2)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 5
+	net.Train(set, cfg)
+	q := nn.Quantize(net, set)
+	core, err := photonic.NewCore(2, photonic.CalibratedNoise(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader := dagloader.NewLoader(datapath.NewEngine(core, 1), mem.New(mem.DDR4Spec(), 1))
+	if err := loader.RegisterModel(1, "anomaly", q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loader.Serve(1, set.Examples[i%len(set.Examples)].X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ServeCores returns the cores-scaling benchmark for one shard count:
+// concurrent HandleMessage load from GOMAXPROCS goroutines against a NIC
+// with `cores` photonic-core shards (§7 replicated-core scaling).
+func ServeCores(cores int) func(*testing.B) {
+	return func(b *testing.B) {
+		set := dataset.Anomaly(300, 1)
+		net := nn.New(1, dataset.FlowFeatureWidth, 16, 8, 2)
+		cfg := nn.DefaultTrainConfig()
+		cfg.Epochs = 5
+		net.Train(set, cfg)
+		q := nn.Quantize(net, set)
+		raw := make([]byte, len(set.Examples[0].X))
+		for i, c := range set.Examples[0].X {
+			raw[i] = byte(c)
+		}
+		n, err := lightning.New(lightning.Config{Lanes: 2, Seed: 1, Cores: cores})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.RegisterModel(1, "anomaly", q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				msg := &lightning.Message{RequestID: 1, ModelID: 1, Payload: raw}
+				if _, err := n.HandleMessage(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

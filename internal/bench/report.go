@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Result is one benchmark's measurement, the unit the trajectory files pin.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// ScalingPoint is one shard count of the cores-scaling series.
+type ScalingPoint struct {
+	Cores   int     `json:"cores"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// SpeedupVs1 is the series' first point's ns/op divided by this one's.
+	SpeedupVs1 float64 `json:"speedup_vs_1core"`
+}
+
+// Report is the JSON document lightning-bench emits (BENCH_PR5.json's
+// schema). Baseline results, when supplied, ride along verbatim with the
+// derived per-benchmark speedups, so one file carries the before/after pair.
+type Report struct {
+	SchemaVersion int                `json:"schema_version"`
+	GoVersion     string             `json:"go_version"`
+	GOOS          string             `json:"goos"`
+	GOARCH        string             `json:"goarch"`
+	NumCPU        int                `json:"num_cpu"`
+	Benchtime     string             `json:"benchtime"`
+	Results       []Result           `json:"results"`
+	CoresScaling  []ScalingPoint     `json:"cores_scaling,omitempty"`
+	Baseline      []Result           `json:"baseline,omitempty"`
+	SpeedupVsBase map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+var initTesting sync.Once
+
+// Run executes one benchmark under testing.Benchmark at the given benchtime
+// (e.g. "1s", "100ms"; empty keeps the harness default) and converts the
+// outcome into a Result. Allocation stats are always collected.
+func Run(bm Benchmark, benchtime string) (Result, error) {
+	initTesting.Do(testing.Init)
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return Result{}, fmt.Errorf("bench: benchtime %q: %w", benchtime, err)
+		}
+	}
+	r := testing.Benchmark(bm.F)
+	if r.N == 0 {
+		return Result{}, fmt.Errorf("bench: %s failed (zero iterations — the function likely called Fatal)", bm.Name)
+	}
+	res := Result{
+		Name:        bm.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return res, nil
+}
+
+// RunSet runs every selected benchmark (name == "all" selects the whole
+// Set) and assembles the report, logging progress to progress (may be nil).
+func RunSet(name, benchtime string, progress io.Writer) (*Report, error) {
+	if progress == nil {
+		progress = io.Discard
+	}
+	rep := &Report{
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Benchtime:     benchtime,
+	}
+	matched := false
+	for _, bm := range Set() {
+		if name != "all" && bm.Name != name {
+			continue
+		}
+		matched = true
+		res, err := Run(bm, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(progress, "%-28s %12d iter %14.1f ns/op %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp)
+		rep.Results = append(rep.Results, res)
+	}
+	if !matched {
+		return nil, fmt.Errorf("bench: no benchmark named %q (see Set)", name)
+	}
+	rep.CoresScaling = deriveScaling(rep.Results)
+	return rep, nil
+}
+
+// deriveScaling extracts the cores-scaling series from the flat results.
+func deriveScaling(results []Result) []ScalingPoint {
+	var pts []ScalingPoint
+	var base float64
+	for _, cores := range ServeCoresSweep {
+		want := ServeCoresName(cores)
+		for _, r := range results {
+			if r.Name != want {
+				continue
+			}
+			p := ScalingPoint{Cores: cores, NsPerOp: r.NsPerOp}
+			if base == 0 {
+				base = r.NsPerOp
+			}
+			if r.NsPerOp > 0 {
+				p.SpeedupVs1 = base / r.NsPerOp
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// AttachBaseline loads a prior report (the "before" measurement), embeds its
+// results, and derives per-benchmark ns/op speedups for every name present
+// in both runs.
+func (rep *Report) AttachBaseline(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench: baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: baseline %s: %w", path, err)
+	}
+	rep.Baseline = base.Results
+	rep.SpeedupVsBase = map[string]float64{}
+	for _, b := range base.Results {
+		for _, r := range rep.Results {
+			if r.Name == b.Name && r.NsPerOp > 0 {
+				rep.SpeedupVsBase[r.Name] = b.NsPerOp / r.NsPerOp
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

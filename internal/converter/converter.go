@@ -144,6 +144,14 @@ type Frame [SamplesPerCycle]fixed.Code
 // after the burst ends — carry idle-channel noise (Fig 8a: phase 0; Fig 8b:
 // phase 6 leaves samples 0–5 as noise).
 func (a *ADC) ReadoutFrames(readings []float64, phase int) []Frame {
+	return a.ReadoutFramesInto(nil, readings, phase)
+}
+
+// ReadoutFramesInto is ReadoutFrames with caller-owned storage: frames are
+// appended to dst (normally passed as dst[:0] with retained capacity) so a
+// steady-state caller — the datapath engine's per-dot scratch — digitizes
+// without allocating.
+func (a *ADC) ReadoutFramesInto(dst []Frame, readings []float64, phase int) []Frame {
 	if phase < 0 || phase >= SamplesPerCycle {
 		panic("converter: readout phase out of range")
 	}
@@ -152,7 +160,15 @@ func (a *ADC) ReadoutFrames(readings []float64, phase int) []Frame {
 	if nFrames == 0 {
 		nFrames = 1
 	}
-	frames := make([]Frame, nFrames)
+	base := len(dst)
+	if need := base + nFrames; cap(dst) >= need {
+		dst = dst[:need]
+	} else {
+		grown := make([]Frame, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	frames := dst[base:]
 	pos := 0
 	for f := 0; f < nFrames; f++ {
 		for s := 0; s < SamplesPerCycle; s++ {
@@ -166,7 +182,7 @@ func (a *ADC) ReadoutFrames(readings []float64, phase int) []Frame {
 			}
 		}
 	}
-	return frames
+	return dst
 }
 
 // RandomPhase draws a readout phase uniformly, modeling the arbitrary

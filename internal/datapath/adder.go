@@ -118,17 +118,28 @@ func TreeSum(lanes []fixed.Acc) (sum fixed.Acc, cycles int) {
 	}
 	work := make([]fixed.Acc, len(lanes))
 	copy(work, lanes)
-	for len(work) > 1 {
-		next := work[:0:0]
-		for i := 0; i < len(work); i += 2 {
-			if i+1 < len(work) {
-				next = append(next, fixed.SatAdd(work[i], work[i+1]))
+	return TreeSumInPlace(work)
+}
+
+// TreeSumInPlace is TreeSum folding directly inside work (which it
+// clobbers) — the allocation-free form the engine uses on the cross-cycle
+// adder's drained lane array. The pairing order matches TreeSum exactly, so
+// saturation behaviour is identical.
+func TreeSumInPlace(work []fixed.Acc) (sum fixed.Acc, cycles int) {
+	if len(work) == 0 {
+		return 0, 0
+	}
+	for n := len(work); n > 1; cycles++ {
+		m := 0
+		for i := 0; i < n; i += 2 {
+			if i+1 < n {
+				work[m] = fixed.SatAdd(work[i], work[i+1])
 			} else {
-				next = append(next, work[i])
+				work[m] = work[i]
 			}
+			m++
 		}
-		work = next
-		cycles++
+		n = m
 	}
 	return work[0], cycles
 }

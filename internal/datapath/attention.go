@@ -94,7 +94,7 @@ func (e *Engine) ExecuteAttention(wq, wk, wv [][]fixed.Signed, x []fixed.Code, s
 			signs[i] = fixed.Signed{Mag: c} // activations are non-negative
 		}
 		for tj := 0; tj < spec.Seq; tj++ {
-			scores[ti*spec.Seq+tj] = e.dotSigned(signs, token(k, tj), adder, &res.Stats)
+			scores[ti*spec.Seq+tj] = e.runDot(signs, token(k, tj), adder, &res.Stats)
 		}
 	}
 
@@ -123,7 +123,7 @@ func (e *Engine) ExecuteAttention(wq, wk, wv [][]fixed.Signed, x []fixed.Code, s
 			for j := 0; j < spec.Seq; j++ {
 				col[j] = v[j*spec.D+d]
 			}
-			acc := e.dotSigned(probRow, col, adder, &res.Stats)
+			acc := e.runDot(probRow, col, adder, &res.Stats)
 			res.Out[t*spec.D+d] = Requantize(acc, spec.OutShift)
 		}
 	}

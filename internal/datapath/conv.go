@@ -94,7 +94,7 @@ func (e *Engine) ExecuteConv(kernels [][]fixed.Signed, input []fixed.Code, spec 
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				gatherWindow(input, spec, oy, ox, window)
-				v := e.dotSigned(kernel, window, adder, &res.Stats)
+				v := e.runDot(kernel, window, adder, &res.Stats)
 				res.Raw[(oy*ow+ox)*spec.OutC+oc] = v
 			}
 		}

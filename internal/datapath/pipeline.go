@@ -90,6 +90,7 @@ type Engine struct {
 	Regs     *countaction.RegisterFile
 
 	detector *Detector
+	scratch  engineScratch
 }
 
 // NewEngine builds an engine over the given core. seed drives the ADC's
@@ -108,71 +109,74 @@ func NewEngine(core *photonic.Core, seed uint64) *Engine {
 	}
 }
 
-// dotSigned computes one output neuron's dot product W·x through the analog
+// runDot computes one output neuron's dot product W·x through the analog
 // and digital pipeline. Weights are sign/magnitude; activations are
 // non-negative codes. Elements are grouped by weight sign so that every
 // photonic accumulation step carries a single sign, which the cross-cycle
 // adder-subtractor applies when reassembling (§5.3, Appendix C).
-func (e *Engine) dotSigned(w []fixed.Signed, x []fixed.Code, adder *CrossCycleAdder, stats *LayerStats) fixed.Acc {
+//
+// All working storage comes from the engine's scratch: after ensure has
+// grown the buffers to the layer geometry (and baked the preamble prefix
+// once), the steady state performs zero heap allocations per neuron. The
+// body therefore sticks to indexed writes, reslices, and copies — growth
+// lives in the cold helpers.
+//
+//lint:hotpath
+func (e *Engine) runDot(w []fixed.Signed, x []fixed.Code, adder *CrossCycleAdder, stats *LayerStats) fixed.Acc {
 	if len(w) != len(x) {
 		panic(fmt.Sprintf("datapath: weight row length %d != activation length %d", len(w), len(x)))
 	}
-	var posW, negW, posX, negX []fixed.Code
+	s := &e.scratch
+	s.ensure(e.Preamble, len(w))
+	np, nn := 0, 0
 	for i, wi := range w {
 		if wi.Mag == 0 || x[i] == 0 {
 			continue // zero products need no analog step (sparse skip)
 		}
 		if wi.Neg {
-			negW = append(negW, wi.Mag)
-			negX = append(negX, x[i])
+			s.negW[nn], s.negX[nn] = wi.Mag, x[i]
+			nn++
 		} else {
-			posW = append(posW, wi.Mag)
-			posX = append(posX, x[i])
+			s.posW[np], s.posX[np] = wi.Mag, x[i]
+			np++
 		}
 	}
 
-	// Run the two same-sign groups through the photonic core and collect
-	// the analog partials with their sign controls.
-	var analog []float64
-	var negs []bool
-	for _, grp := range []struct {
-		w, x []fixed.Code
-		neg  bool
-	}{{posW, posX, false}, {negW, negX, true}} {
-		if len(grp.w) == 0 {
-			continue
-		}
-		parts := e.Core.DotPartials(grp.w, grp.x)
-		stats.PhotonicSteps += uint64(len(parts))
-		for _, p := range parts {
-			analog = append(analog, p)
-			negs = append(negs, grp.neg)
-		}
-	}
-	if len(analog) == 0 {
+	// Run the two same-sign groups through the photonic core (positive
+	// first, as the streamer orders them) and collect the analog partials.
+	s.posParts = e.Core.DotPartialsInto(s.posParts, s.posW[:np], s.posX[:np])
+	s.negParts = e.Core.DotPartialsInto(s.negParts, s.negW[:nn], s.negX[:nn])
+	parts := len(s.posParts) + len(s.negParts)
+	stats.PhotonicSteps += uint64(parts)
+	if parts == 0 {
 		return 0
 	}
 
-	// ADC readout at an arbitrary phase, preceded by the preamble the
-	// datapath prepended to the vector.
-	preCodes := e.Preamble.Prepend(nil)
-	burst := make([]float64, 0, len(preCodes)+len(analog))
-	for _, c := range preCodes {
-		burst = append(burst, float64(c))
+	// Sign controls pair one-to-one with the concatenated partials.
+	s.negs = s.negs[:parts]
+	for i := range s.negs {
+		s.negs[i] = i >= len(s.posParts)
 	}
-	burst = append(burst, analog...)
+
+	// ADC readout at an arbitrary phase, preceded by the preamble the
+	// datapath prepended to the vector (baked into the scratch prefix).
+	s.burst = s.burst[:len(s.pre)+parts]
+	copy(s.burst, s.pre)
+	copy(s.burst[len(s.pre):], s.posParts)
+	copy(s.burst[len(s.pre)+len(s.posParts):], s.negParts)
 	phase := e.ADC.RandomPhase()
-	frames := e.ADC.ReadoutFrames(burst, phase)
-	stats.DatapathCycles += uint64(len(frames))
+	s.frames = e.ADC.ReadoutFramesInto(s.frames[:0], s.burst, phase)
+	stats.DatapathCycles += uint64(len(s.frames))
 
 	// Count-action preamble detection locates the meaningful samples.
 	e.detector.Reset()
-	detPhase, _, ok := e.detector.Detect(frames)
+	detPhase, _, ok := e.detector.Detect(s.frames)
 	if !ok {
 		stats.PreambleMisses++
 		detPhase = phase // exception path: fall back to known phase
 	}
-	payload := e.detector.ExtractPayload(frames, detPhase, len(analog))
+	s.payload = e.detector.ExtractPayloadInto(s.payload[:0], s.frames, detPhase, parts)
+	payload := s.payload
 
 	// Cross-cycle sign reassembly and the intra-cycle adder tree.
 	adder.SetPartialsPerDot(len(payload))
@@ -181,16 +185,16 @@ func (e *Engine) dotSigned(w []fixed.Signed, x []fixed.Code, adder *CrossCycleAd
 		if end > len(payload) {
 			end = len(payload)
 		}
-		for _, s := range payload[i:end] {
-			if s == fixed.MaxCode {
+		for _, v := range payload[i:end] {
+			if v == fixed.MaxCode {
 				stats.SaturatedSamples++
 			}
 		}
-		adder.Accumulate(payload[i:end], negs[i:end])
+		adder.Accumulate(payload[i:end], s.negs[i:end])
 		stats.ComputeCycles++
 	}
 	lanes := adder.Drain()
-	sum, treeCycles := TreeSum(lanes[:])
+	sum, treeCycles := TreeSumInPlace(lanes[:])
 	stats.ComputeCycles += uint64(treeCycles)
 	return sum
 }
@@ -228,7 +232,7 @@ func (e *Engine) ExecuteFCBias(weights [][]fixed.Signed, bias []fixed.Acc, x []f
 	// and stream setup (the 193 ns/layer of §9 at 253.44 MHz ≈ 49 cycles).
 	res.Stats.DatapathCycles += PerLayerOverheadCycles
 	for j, row := range weights {
-		res.Raw[j] = e.dotSigned(row, x, adder, &res.Stats)
+		res.Raw[j] = e.runDot(row, x, adder, &res.Stats)
 		if j < len(bias) {
 			res.Raw[j] = fixed.SatAdd(res.Raw[j], bias[j])
 		}

@@ -239,17 +239,26 @@ func (d *Detector) Detect(frames []converter.Frame) (phase, frameIdx int, ok boo
 // preamble's end. The preamble occupies phase + P·16 samples from the start
 // of the burst's first frame.
 func (d *Detector) ExtractPayload(frames []converter.Frame, phase, payloadLen int) []fixed.Code {
-	flat := make([]fixed.Code, 0, len(frames)*converter.SamplesPerCycle)
-	for _, f := range frames {
-		flat = append(flat, f[:]...)
-	}
 	start := phase + d.Config.Samples()
-	if start > len(flat) {
+	if start > len(frames)*converter.SamplesPerCycle {
 		return nil
 	}
+	return d.ExtractPayloadInto(nil, frames, phase, payloadLen)
+}
+
+// ExtractPayloadInto is ExtractPayload with caller-owned storage: the
+// payload samples are appended to dst (normally dst[:0] with retained
+// capacity), copying only the payload range instead of flattening the whole
+// burst — the zero-steady-state-allocation form the engine's scratch uses.
+func (d *Detector) ExtractPayloadInto(dst []fixed.Code, frames []converter.Frame, phase, payloadLen int) []fixed.Code {
+	start := phase + d.Config.Samples()
+	total := len(frames) * converter.SamplesPerCycle
 	end := start + payloadLen
-	if end > len(flat) {
-		end = len(flat)
+	if end > total {
+		end = total
 	}
-	return flat[start:end]
+	for idx := start; idx < end; idx++ {
+		dst = append(dst, frames[idx/converter.SamplesPerCycle][idx%converter.SamplesPerCycle])
+	}
+	return dst
 }

@@ -1,0 +1,72 @@
+package datapath
+
+import (
+	"github.com/lightning-smartnic/lightning/internal/converter"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// engineScratch is the engine's reusable per-dot working storage. Every
+// slice runDot touches on the per-neuron path lives here and is resized —
+// never reallocated in steady state — so executing a layer performs zero
+// allocations per output neuron once the buffers have grown to the layer's
+// geometry (see DESIGN.md §11).
+//
+// Ownership follows the engine's single-owner contract: an Engine (and so
+// its scratch) belongs to exactly one shard goroutine at a time, the same
+// rule the sharded NIC already enforces for the photonic core and DRAM
+// reader it wraps. Nothing here is safe for concurrent use, and runDot is
+// not reentrant — callers must not feed slices that alias the scratch back
+// into the engine.
+type engineScratch struct {
+	// posW/posX and negW/negX hold the sign-partitioned operand groups
+	// (capacity ≥ the layer's input width).
+	posW, posX, negW, negX []fixed.Code
+	// posParts, negParts hold each group's analog partial readings,
+	// filled by Core.DotPartialsInto.
+	posParts, negParts []float64
+	// negs holds the per-partial sign controls for the cross-cycle adder.
+	negs []bool
+	// burst is the DAC stream for one dot: baked preamble samples followed
+	// by the analog partials.
+	burst []float64
+	// frames is the ADC readout for the burst.
+	frames []converter.Frame
+	// payload is the preamble-stripped sample stream.
+	payload []fixed.Code
+	// pre is the preamble prepended to every burst, baked once as analog
+	// samples; preCfg records the config it was baked from so a
+	// reconfigured engine lazily re-bakes.
+	pre    []float64
+	preCfg PreambleConfig
+	baked  bool
+}
+
+// ensure is runDot's cold path: it re-bakes the preamble prefix if the
+// engine's preamble config changed and grows the operand buffers to the
+// layer width n. After it returns, the hot body runs on indexed writes and
+// reslices only.
+func (s *engineScratch) ensure(cfg PreambleConfig, n int) {
+	if !s.baked || s.preCfg != cfg {
+		codes := cfg.Prepend(nil)
+		s.pre = make([]float64, len(codes))
+		for i, c := range codes {
+			s.pre[i] = float64(c)
+		}
+		s.preCfg = cfg
+		s.baked = true
+	}
+	if cap(s.posW) < n {
+		s.posW = make([]fixed.Code, n)
+		s.posX = make([]fixed.Code, n)
+		s.negW = make([]fixed.Code, n)
+		s.negX = make([]fixed.Code, n)
+	}
+	// One partial per analog step, at most one step per element pair, so n
+	// bounds the partial count whatever the lane width.
+	if cap(s.negs) < n {
+		s.negs = make([]bool, n)
+	}
+	if cap(s.burst) < len(s.pre)+n {
+		s.burst = make([]float64, len(s.pre)+n)
+	}
+}

@@ -1,0 +1,73 @@
+package datapath
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// TestRunDotZeroSteadyStateAllocs guards the engine's per-neuron hot path:
+// once the scratch has grown to the layer geometry (one warm-up call), a dot
+// product through the full analog+digital pipeline — sign partition, DAC
+// burst, ADC framing, preamble detection, cross-cycle reassembly, adder
+// tree — must not allocate.
+func TestRunDotZeroSteadyStateAllocs(t *testing.T) {
+	core, err := photonic.NewCore(2, photonic.CalibratedNoise(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(core, 1)
+	w := make([]fixed.Signed, 64)
+	x := make([]fixed.Code, 64)
+	for i := range w {
+		w[i] = fixed.Signed{Mag: fixed.Code(i*3 + 1), Neg: i%3 == 0}
+		x[i] = fixed.Code(255 - i)
+	}
+	adder := NewCrossCycleAdder(1)
+	adder.Gain = e.Core.FullScaleLanes
+	var stats LayerStats
+	e.runDot(w, x, adder, &stats) // warm-up: grows scratch, bakes preamble
+	var sink fixed.Acc
+	if n := testing.AllocsPerRun(100, func() {
+		sink += e.runDot(w, x, adder, &stats)
+	}); n != 0 {
+		t.Fatalf("runDot allocates %v times per call in steady state, want 0", n)
+	}
+	_ = sink
+}
+
+// TestRunDotScratchRegrowth checks the cold path the guard above never
+// exercises: a wider layer after a narrow one must regrow the scratch and
+// still produce the same result as a fresh engine (the scratch is pure
+// working storage, never carried state).
+func TestRunDotScratchRegrowth(t *testing.T) {
+	mk := func() (*Engine, *CrossCycleAdder) {
+		core, err := photonic.NewCore(2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(core, 1)
+		a := NewCrossCycleAdder(1)
+		a.Gain = e.Core.FullScaleLanes
+		return e, a
+	}
+	wide := make([]fixed.Signed, 200)
+	x := make([]fixed.Code, 200)
+	for i := range wide {
+		wide[i] = fixed.Signed{Mag: fixed.Code(i + 1), Neg: i%2 == 0}
+		x[i] = fixed.Code(i)
+	}
+
+	e1, a1 := mk()
+	var s1 LayerStats
+	e1.runDot(wide[:8], x[:8], a1, &s1) // narrow first: scratch sized small
+	got := e1.runDot(wide, x, a1, &s1)  // then wide: forces regrowth
+
+	e2, a2 := mk()
+	var s2 LayerStats
+	want := e2.runDot(wide, x, a2, &s2) // fresh engine, scratch sized wide
+	if got != want {
+		t.Fatalf("regrown scratch changed the result: %d != %d", got, want)
+	}
+}

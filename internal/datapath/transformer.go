@@ -154,7 +154,7 @@ func runHeadAttention(e *Engine, q, k, v []fixed.Code, spec AttentionSpec, stats
 		}
 		row := make([]fixed.Acc, seq)
 		for j := 0; j < seq; j++ {
-			s := e.dotSigned(signs, k[j*d:(j+1)*d], adder, stats)
+			s := e.runDot(signs, k[j*d:(j+1)*d], adder, stats)
 			row[j] = fixed.Acc(int32(s) >> spec.ScoreShift)
 		}
 		probs := Softmax(row)
@@ -166,7 +166,7 @@ func runHeadAttention(e *Engine, q, k, v []fixed.Code, spec AttentionSpec, stats
 			for j := 0; j < seq; j++ {
 				col[j] = v[j*d+dd]
 			}
-			acc := e.dotSigned(probRow, col, adder, stats)
+			acc := e.runDot(probRow, col, adder, stats)
 			out[t*d+dd] = Requantize(acc, spec.OutShift)
 		}
 	}

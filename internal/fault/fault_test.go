@@ -146,6 +146,32 @@ func TestBiasRunawayShiftsReadings(t *testing.T) {
 	}
 }
 
+// TestBiasRunawayRelockHeals is the calibration-LUT regression pair to
+// TestBiasRunawayShiftsReadings: between injection and relock every reading
+// flows through the live (corrupted) transfer — the baked fast path must not
+// serve stale healthy values — and Relock's re-bake restores readings to the
+// healthy operating point.
+func TestBiasRunawayRelockHeals(t *testing.T) {
+	core := newTestCore(t)
+	a := []fixed.Code{200, 150}
+	b := []fixed.Code{180, 210}
+	before := core.Step(a, b)
+	if err := (BiasRunaway{Lane: 0, DeltaVolts: 1.5}).Apply(Target{Core: core}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	corrupted := core.Step(a, b)
+	if math.Abs(corrupted-before) < 1 {
+		t.Fatalf("bias runaway masked by the transmission LUTs: %.2f -> %.2f", before, corrupted)
+	}
+	if err := core.Relock(); err != nil {
+		t.Fatalf("Relock: %v", err)
+	}
+	healed := core.Step(a, b)
+	if math.Abs(healed-before) > 1 {
+		t.Fatalf("relock did not heal bias runaway: %.2f, want ≈ %.2f", healed, before)
+	}
+}
+
 func TestLaserSagShrinksReadingsAndRelockHeals(t *testing.T) {
 	core := newTestCore(t)
 	a := []fixed.Code{255, 255}

@@ -6,10 +6,12 @@
 // clock outside an injectable seam), the sharded serve path must stay
 // race-clean (shared counters use sync/atomic or sit behind their owning
 // mutex), wire-facing errors must be counted rather than silently dropped,
-// and the analog model must not mix fixed-point codes with floats without
-// an explicit quantization step. Each analyzer in this package guards one
-// of those invariants; cmd/lightning-lint runs them all over the module
-// and CI fails on any diagnostic.
+// the analog model must not mix fixed-point codes with floats without
+// an explicit quantization step, and functions marked //lint:hotpath must
+// stay free of allocating builtins so the zero-allocation serve path holds.
+// Each analyzer in this package guards one of those invariants;
+// cmd/lightning-lint runs them all over the module and CI fails on any
+// diagnostic.
 //
 // The suite is stdlib-only: packages are parsed with go/parser and
 // type-checked with go/types (see loader.go), so linting needs nothing
@@ -64,6 +66,7 @@ func Analyzers() []*Analyzer {
 		AtomicCounter(),
 		ErrDrop(),
 		FixedMix(),
+		HotAlloc(),
 	}
 }
 

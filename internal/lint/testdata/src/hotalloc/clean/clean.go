@@ -1,0 +1,39 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/photonic
+
+// Package fixture exercises hotalloc's clean cases: hot-path bodies that
+// stick to indexed writes, reslices and copies, delegating growth to an
+// unmarked cold helper with caller-owned storage.
+package fixture
+
+// step fills caller-owned storage with indexed writes after the cold helper
+// has grown it.
+//
+//lint:hotpath
+func step(dst, src []float64) []float64 {
+	dst = grow(dst, len(src))
+	for i, v := range src {
+		dst[i] = v * 2
+	}
+	return dst
+}
+
+// fold reslices and copies without allocating.
+//
+//lint:hotpath
+func fold(work []float64) float64 {
+	half := work[:len(work)/2]
+	copy(half, work[len(work)/2:])
+	var s float64
+	for _, v := range half {
+		s += v
+	}
+	return s
+}
+
+// grow is the cold path: reallocation happens here, outside any marker.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,32 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/photonic
+
+// Package fixture exercises hotalloc's flagged cases: the allocating
+// builtins append, make and new inside functions that carry the
+// //lint:hotpath marker.
+package fixture
+
+// step is a hot-path function that appends per call.
+//
+//lint:hotpath
+func step(dst, src []float64) []float64 {
+	for _, v := range src {
+		dst = append(dst, v*2)
+	}
+	return dst
+}
+
+// readout is a hot-path function that makes fresh storage per call and
+// boxes a result with new.
+//
+//lint:hotpath
+func readout(n int) *[]float64 {
+	out := make([]float64, n)
+	box := new([]float64)
+	*box = out
+	return box
+}
+
+// coldHelper allocates but carries no marker, so it is not flagged.
+func coldHelper(n int) []float64 {
+	return make([]float64, n)
+}

@@ -80,16 +80,26 @@ func (m *Message) Decode(data []byte) error {
 
 // Encode serializes the message.
 func (m *Message) Encode() ([]byte, error) {
-	if len(m.Payload) > 0xffff {
-		return nil, fmt.Errorf("nic: payload %d exceeds 64 KiB", len(m.Payload))
+	out, err := m.AppendEncode(make([]byte, 0, WireHeaderLen+len(m.Payload)))
+	if err != nil {
+		return nil, err
 	}
-	out := make([]byte, 0, WireHeaderLen+len(m.Payload))
-	out = binary.BigEndian.AppendUint16(out, WireMagic)
-	out = append(out, WireVersion, m.Flags)
-	out = binary.BigEndian.AppendUint32(out, m.RequestID)
-	out = binary.BigEndian.AppendUint16(out, m.ModelID)
-	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Payload)))
-	return append(out, m.Payload...), nil
+	return out, nil
+}
+
+// AppendEncode serializes the message into dst's spare capacity and returns
+// the extended slice — the allocation-free seam the serve path's pooled tx
+// frame buffers use. dst is returned unmodified on error.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	if len(m.Payload) > 0xffff {
+		return dst, fmt.Errorf("nic: payload %d exceeds 64 KiB", len(m.Payload))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, WireMagic)
+	dst = append(dst, WireVersion, m.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, m.RequestID)
+	dst = binary.BigEndian.AppendUint16(dst, m.ModelID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Payload)))
+	return append(dst, m.Payload...), nil
 }
 
 // Response carries an inference result back to the requester. The payload

@@ -20,10 +20,53 @@ type Lane struct {
 	// into the datapath to avoid inverting the transfer function online.
 	volt1, volt2 [256]float64
 
+	// g1, g2 are per-code transmission LUTs baked at calibration time:
+	// g1[code] = Mod1.Transmission(volt1[code]), and likewise g2 for Mod2.
+	// They collapse TransmitCodes' two raised-cosine evaluations (the only
+	// transcendentals on the per-element analog path) into table loads.
+	// The tap factors are kept as separate multiplicands (tap1, tap2)
+	// rather than folded into g1/g2 because float multiplication is not
+	// associative: keeping carrier·g1·tap1·g2·tap2 in exactly Modulate's
+	// order makes the LUT path bit-identical to the live transfer chain.
+	g1, g2 [256]float64
+	// tap1, tap2 cache each modulator's through-path factor 1−TapFraction.
+	tap1, tap2 float64
+	// baked1, baked2 snapshot the modulator states the LUTs were built
+	// at; lutOK arms the fast path. TransmitCodes compares the live state
+	// against the snapshot on every call, so any fault that moves a
+	// modulator off its locked point (BiasRunaway, DriftBurst, parameter
+	// edits) transparently invalidates the LUT instead of masking the
+	// fault behind stale calibrated values.
+	baked1, baked2 mzState
+	lutOK          bool
+
 	// dead marks a lost laser line: the lane emits no light at all, not
 	// even the dark-level floor, and no amount of bias re-locking brings
 	// it back (the carrier itself is gone).
 	dead bool
+}
+
+// bakeLUTs (re)builds the per-code transmission tables from the current
+// modulator operating points. NewLane and Relock call it after fitting the
+// encode calibrations; everything else reaches the tables only through
+// TransmitCodes, which falls back to the live transfer chain whenever the
+// modulators have moved since the bake.
+func (l *Lane) bakeLUTs() {
+	for code := 0; code < 256; code++ {
+		l.g1[code] = l.Mod1.Transmission(l.volt1[code])
+		l.g2[code] = l.Mod2.Transmission(l.volt2[code])
+	}
+	l.tap1 = 1 - l.Mod1.TapFraction
+	l.tap2 = 1 - l.Mod2.TapFraction
+	l.baked1 = l.Mod1.state()
+	l.baked2 = l.Mod2.state()
+	l.lutOK = true
+}
+
+// lutValid reports whether the LUT fast path is armed and still matches the
+// live modulator state.
+func (l *Lane) lutValid() bool {
+	return l.lutOK && l.baked1 == l.Mod1.state() && l.baked2 == l.Mod2.state()
 }
 
 // Kill extinguishes the lane's laser line permanently — the hard failure a
@@ -60,14 +103,25 @@ func NewLane(w Wavelength, phase1, phase2 float64) (*Lane, error) {
 		l.volt1[code] = c1.VoltageFor(u)
 		l.volt2[code] = c2.VoltageFor(u)
 	}
+	l.bakeLUTs()
 	return l, nil
 }
 
 // TransmitCodes is the 8-bit fast path of Transmit: operands arrive as DAC
-// codes and drive voltages come from the calibrated lookup tables.
+// codes and the calibrated transfer comes from the baked transmission LUTs
+// — two table loads and four multiplies, no transcendentals, in exactly the
+// live chain's multiplication order so the output is bit-identical to
+// Modulate∘Modulate. When a fault has moved a modulator off the baked
+// operating point the LUT is stale, and the call drops to the live transfer
+// chain so the corruption stays physically visible until Relock re-bakes.
+//
+//lint:hotpath
 func (l *Lane) TransmitCodes(carrier float64, a, b fixed.Code) float64 {
 	if l.dead {
 		return 0
+	}
+	if l.lutOK && l.baked1 == l.Mod1.state() && l.baked2 == l.Mod2.state() {
+		return carrier * l.g1[a] * l.tap1 * l.g2[b] * l.tap2
 	}
 	i1 := l.Mod1.Modulate(carrier, l.volt1[a])
 	return l.Mod2.Modulate(i1, l.volt2[b])
@@ -206,6 +260,8 @@ func (c *Core) NumLanes() int { return len(c.lanes) }
 // returns a single reading proportional to Σ a[i]·b[i] (Fig 2c). The reading
 // is in code units where one lane at full scale reads 255; analog noise is
 // added once per detector readout. Unused lanes idle dark.
+//
+//lint:hotpath
 func (c *Core) Step(a, b []fixed.Code) float64 {
 	if len(a) != len(b) {
 		panic("photonic: Step operand length mismatch")
@@ -262,27 +318,111 @@ func (c *Core) DotSingleWavelength(a, b []fixed.Code) float64 {
 // partial sums the cross-cycle adder-subtractor later accumulates, §5.3) are
 // returned in order. A final short step handles the vector tail.
 func (c *Core) DotPartials(a, b []fixed.Code) []float64 {
+	return c.DotPartialsInto(nil, a, b)
+}
+
+// DotPartialsInto is DotPartials with caller-owned storage: the partials are
+// written into dst — reallocated only when its capacity is short — and the
+// filled slice (length ⌈len(a)/NumLanes⌉) is returned. With sufficient
+// capacity the call performs zero heap allocations; the datapath engine's
+// per-shard scratch leans on this to keep the per-neuron path allocation-
+// free. Growth happens in growPartials so the hot body stays free of
+// append/make.
+//
+//lint:hotpath
+func (c *Core) DotPartialsInto(dst []float64, a, b []fixed.Code) []float64 {
 	if len(a) != len(b) {
 		panic("photonic: dot product operand length mismatch")
 	}
 	n := c.NumLanes()
-	var partials []float64
+	steps := (len(a) + n - 1) / n
+	dst = growPartials(dst, steps)
+	fast := c.lutsValid()
+	for i, off := 0, 0; off < len(a); i, off = i+1, off+n {
+		end := off + n
+		if end > len(a) {
+			end = len(a)
+		}
+		if fast {
+			dst[i] = c.stepFast(a[off:end], b[off:end])
+		} else {
+			dst[i] = c.Step(a[off:end], b[off:end])
+		}
+	}
+	return dst
+}
+
+// growPartials resizes s to n partials, reallocating only when capacity is
+// short — DotPartialsInto's cold path.
+func growPartials(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// lutsValid reports whether every live lane's transmission LUT matches its
+// modulators' current operating points. The dot loops sample it once per
+// dot product and run the fused fast step while it holds; a fault injected
+// between queries (the granularity the fault runner operates at) is seen at
+// the next dot's first step. Dead lanes don't count against validity: they
+// contribute exact zero on both paths.
+func (c *Core) lutsValid() bool {
+	for _, l := range c.lanes {
+		if !l.dead && !l.lutValid() {
+			return false
+		}
+	}
+	return true
+}
+
+// stepFast is Step's body specialized to valid LUTs: per element it is two
+// table loads and five multiplies, with the staleness compare hoisted to
+// the caller. The float operation sequence — per-lane transmit products
+// accumulated in lane order, then the detector decode and one noise draw —
+// is exactly Step's, so readings are bit-identical and the rng stream stays
+// in lockstep with the slow path.
+//
+//lint:hotpath
+func (c *Core) stepFast(a, b []fixed.Code) float64 {
+	var detected float64
+	for i := range a {
+		l := c.lanes[i]
+		if !l.dead {
+			detected += c.carrier * l.g1[a[i]] * l.tap1 * l.g2[b[i]] * l.tap2
+		}
+	}
+	detected = c.pd.DarkLevel + c.pd.Responsivity*detected
+	scale := c.FullScaleLanes
+	if scale < 1 {
+		scale = 1
+	}
+	r := (detected - float64(len(a))*c.darkPerLane) / (c.spanPerLane * float64(scale)) * fixed.MaxCode
+	r += c.noise.Sample()
+	c.Steps++
+	return r
+}
+
+// Dot computes the full dot product by summing the per-step partials in
+// order — the behaviour the combined photonic+digital pipeline produces —
+// without materializing them.
+func (c *Core) Dot(a, b []fixed.Code) float64 {
+	if len(a) != len(b) {
+		panic("photonic: dot product operand length mismatch")
+	}
+	n := c.NumLanes()
+	fast := c.lutsValid()
+	var s float64
 	for off := 0; off < len(a); off += n {
 		end := off + n
 		if end > len(a) {
 			end = len(a)
 		}
-		partials = append(partials, c.Step(a[off:end], b[off:end]))
-	}
-	return partials
-}
-
-// Dot computes the full dot product by summing DotPartials — the behaviour
-// the combined photonic+digital pipeline produces.
-func (c *Core) Dot(a, b []fixed.Code) float64 {
-	var s float64
-	for _, p := range c.DotPartials(a, b) {
-		s += p
+		if fast {
+			s += c.stepFast(a[off:end], b[off:end])
+		} else {
+			s += c.Step(a[off:end], b[off:end])
+		}
 	}
 	return s
 }

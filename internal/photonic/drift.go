@@ -53,6 +53,10 @@ func (l *Lane) Relock() error {
 		l.volt1[code] = c1.VoltageFor(u)
 		l.volt2[code] = c2.VoltageFor(u)
 	}
+	// Re-bake the transmission LUTs at the re-locked operating point: the
+	// fast path re-arms here and nowhere else, so between a fault and its
+	// relock every reading flows through the live (corrupted) transfer.
+	l.bakeLUTs()
 	return nil
 }
 

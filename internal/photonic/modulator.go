@@ -54,6 +54,21 @@ func NewMZModulator(phaseOffset float64) *MZModulator {
 	}
 }
 
+// mzState is the complete parameter snapshot that determines a modulator's
+// transfer function. A Lane compares the live state against the snapshot its
+// transmission LUTs were baked at: any mismatch — a bias-controller runaway,
+// a thermal-drift step, an operator tweak — silently retires the LUT fast
+// path (falling back to the live transfer chain) until the next Relock
+// re-bakes the tables at the new operating point.
+type mzState struct {
+	vpi, bias, phase, floor, tap float64
+}
+
+// state snapshots the modulator's transfer-determining parameters.
+func (m *MZModulator) state() mzState {
+	return mzState{m.Vpi, m.Bias, m.PhaseOffset, m.ExtinctionFloor, m.TapFraction}
+}
+
 // Transmission returns the optical power transmission in [0, 1] for drive
 // voltage v at the current bias point.
 func (m *MZModulator) Transmission(v float64) float64 {

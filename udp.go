@@ -15,6 +15,41 @@ import (
 // check for cancellation and expire stale reassembly entries.
 const readTick = 100 * time.Millisecond
 
+// rxBufPool recycles the 64 KiB datagram read buffers shared by the serve
+// loops and the client's round-trip reader, so repeated serve invocations
+// and per-attempt client reads stop re-allocating max-datagram buffers.
+// Pooled as *[]byte so Put does not re-box the slice header on every cycle.
+var rxBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 65536)
+		return &b
+	},
+}
+
+// txBufPool recycles wire-encode scratch for response (and client query)
+// frames; AppendEncode extends the pooled buffer in place, and the grown
+// capacity is retained across uses.
+var txBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// encodeTo serializes msg into pooled tx scratch, passes the wire bytes to
+// write, and returns the buffer to the pool. The write callback must not
+// retain the slice.
+func encodeTo(msg *Message, write func(out []byte) error) error {
+	bp := txBufPool.Get().(*[]byte)
+	out, err := msg.AppendEncode((*bp)[:0])
+	if err == nil {
+		err = write(out)
+	}
+	*bp = out[:0]
+	txBufPool.Put(bp)
+	return err
+}
+
 // ServeUDP attaches the NIC to a UDP socket and serves Lightning wire
 // messages until the context is cancelled (requirement R1: live user
 // traffic from remote users). Each datagram carries one wire message; the
@@ -24,7 +59,9 @@ const readTick = 100 * time.Millisecond
 // one unreachable client must not take the server down. On cancellation the
 // loop stops reading, waits for in-flight datapath work, and returns nil.
 func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
-	buf := make([]byte, 65536)
+	bufp := rxBufPool.Get().(*[]byte)
+	defer rxBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
 			// Counted, not fatal (Metrics.Serve.DeadlineErrors): a failed
@@ -64,13 +101,12 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 			continue
 		}
 		_ = herr // the error flag rides in the response
-		out, eerr := resp.ToMessage().Encode()
-		if eerr != nil {
-			continue
-		}
-		if _, werr := pc.WriteTo(out, addr); werr != nil {
-			n.writeErrors.Add(1)
-		}
+		_ = encodeTo(resp.ToMessage(), func(out []byte) error {
+			if _, werr := pc.WriteTo(out, addr); werr != nil {
+				n.writeErrors.Add(1)
+			}
+			return nil
+		})
 	}
 }
 
@@ -108,13 +144,12 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 				if resp == nil {
 					continue
 				}
-				out, err := resp.ToMessage().Encode()
-				if err != nil {
-					continue
-				}
-				if _, werr := pc.WriteTo(out, j.addr); werr != nil {
-					n.writeErrors.Add(1)
-				}
+				_ = encodeTo(resp.ToMessage(), func(out []byte) error {
+					if _, werr := pc.WriteTo(out, j.addr); werr != nil {
+						n.writeErrors.Add(1)
+					}
+					return nil
+				})
 			}
 		}()
 	}
@@ -126,7 +161,9 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 		_ = n.Drain(context.Background())
 	}()
 
-	buf := make([]byte, 65536)
+	bufp := rxBufPool.Get().(*[]byte)
+	defer rxBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
 			// Same policy as ServeUDP: count and keep serving, but never
@@ -269,18 +306,19 @@ func (c *Client) attempt(modelID uint16, raw []byte) (*Response, time.Duration, 
 	}
 	start := time.Now()
 	for _, m := range msgs {
-		out, err := m.Encode()
-		if err != nil {
-			return nil, 0, err
-		}
-		if _, err := c.conn.Write(out); err != nil {
+		if err := encodeTo(m, func(out []byte) error {
+			_, werr := c.conn.Write(out)
+			return werr
+		}); err != nil {
 			return nil, 0, err
 		}
 	}
 	if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
 		return nil, 0, err
 	}
-	buf := make([]byte, 65536)
+	bufp := rxBufPool.Get().(*[]byte)
+	defer rxBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		sz, err := c.conn.Read(buf)
 		if err != nil {
@@ -297,6 +335,9 @@ func (c *Client) attempt(modelID uint16, raw []byte) (*Response, time.Duration, 
 		if err != nil {
 			return nil, 0, err
 		}
+		// ParseResponse aliases Probs into the read buffer; copy before the
+		// deferred Put hands that buffer to another goroutine.
+		resp.Probs = append([]uint8(nil), resp.Probs...)
 		return resp, time.Since(start), nil
 	}
 }
