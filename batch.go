@@ -1,0 +1,80 @@
+package lightning
+
+import (
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// execBatch is the Batcher's execution callback: it runs one flushed batch
+// of same-model queries through a shard and fans per-request verdicts back
+// into the items.
+//
+// The shard is picked at flush time, not enqueue time, so a shard
+// quarantined while the batch was queuing is routed around without
+// dropping a single query; if every shard is quarantined each request gets
+// its own Err-flagged response and ErrUnavailable — degraded-mode semantics
+// per request, exactly as the serial path answers.
+//
+// A batch of one delegates to the serial loader path, which keeps an idle
+// batching NIC in rng lockstep with (and therefore byte-identical to) a
+// non-batching one. Larger batches run the loader's matrix pass; health
+// scoring still records one outcome per request, so the circuit breaker
+// sees the same evidence stream the serial path would produce.
+func (n *NIC) execBatch(modelID uint16, items []*nic.BatchItem) {
+	sh := n.pickShard()
+	if sh == nil {
+		n.unavailable.Add(uint64(len(items)))
+		for _, it := range items {
+			it.Resp = nic.Response{RequestID: it.RequestID, ModelID: modelID, Err: true}
+			it.Err = ErrUnavailable
+		}
+		return
+	}
+	if len(items) == 1 {
+		it := items[0]
+		resp, err := n.serveSerial(sh, modelID, it.RequestID, it.Input, false)
+		it.Resp, it.Err = *resp, err
+		return
+	}
+	inputs := make([][]fixed.Code, len(items))
+	for i, it := range items {
+		inputs[i] = it.Input
+	}
+	sh.mu.Lock()
+	results, stats, err := sh.loader.ServeBatch(modelID, inputs)
+	if err == nil {
+		n.served.Add(uint64(len(items)))
+		// Batch-level cycle accounting lands once: the whole point of the
+		// matrix pass is that framing and reconfiguration are shared.
+		sh.totals.Add(stats)
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		// Whole-batch failures are server-side (model dropped mid-flight,
+		// DRAM fault): every request gets its own Err-flagged response,
+		// and each counts against the shard's health window.
+		sh.errQ.Add(uint64(len(items)))
+		for _, it := range items {
+			it.Resp = nic.Response{RequestID: it.RequestID, ModelID: modelID, Err: true}
+			it.Err = err
+			n.recordOutcome(sh, true)
+		}
+		return
+	}
+	sh.servedQ.Add(uint64(len(items)))
+	for qi, it := range items {
+		res := results[qi]
+		probs := make([]uint8, len(res.Probs))
+		for i, p := range res.Probs {
+			probs[i] = uint8(p)
+		}
+		it.Resp = nic.Response{
+			RequestID: it.RequestID,
+			ModelID:   modelID,
+			Class:     uint16(res.Class),
+			Probs:     probs,
+		}
+		it.Err = nil
+		n.recordOutcome(sh, false)
+	}
+}

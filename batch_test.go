@@ -1,0 +1,329 @@
+package lightning
+
+// Batch/serial differential suite: the batched serve path must be provably
+// equivalent to the serial one — bit-identical responses per request on an
+// ideal channel, for random workloads (property test) and adversarial
+// arrival orders and fragment interleavings (fuzz target). Equivalence is
+// asserted on the wire encoding, not on floats: if any analog coupling
+// leaked between batched queries, the response bytes would diverge.
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// diffModels registers the differential suite's model zoo (mixed widths, so
+// mixed models exercise per-model queue isolation) on a NIC.
+func diffModels(t testing.TB, n *NIC) map[uint16]int {
+	t.Helper()
+	widths := map[uint16]int{4: 32, 5: 64, 6: 16}
+	for id, w := range widths {
+		if err := n.RegisterModel(id, "halves", halvesModel(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return widths
+}
+
+// responseBytes canonicalizes a served response for bit-level comparison.
+func responseBytes(t testing.TB, resp *Response) []byte {
+	t.Helper()
+	if resp == nil {
+		return nil
+	}
+	raw, err := resp.ToMessage().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+type diffOutcome struct {
+	resp []byte
+	err  string
+}
+
+func outcomeOf(t testing.TB, resp *Response, err error) diffOutcome {
+	t.Helper()
+	o := diffOutcome{resp: responseBytes(t, resp)}
+	if err != nil {
+		o.err = err.Error()
+	}
+	return o
+}
+
+// drainUntil keeps flushing the NIC's pending batches until every
+// concurrent caller has finished — the test-side pump for workloads too
+// small or too ragged to fill batches on their own.
+func drainUntil(t testing.TB, n *NIC, wg *sync.WaitGroup) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			if err := n.Drain(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+			if err := n.Drain(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// TestBatchSerialDifferential is the property test: for random seeded
+// workloads — mixed models, mixed widths, a sprinkle of client mistakes,
+// batch sizes 1..16, faults off — every batched response is bit-identical
+// to the serial path's. The two NICs deliberately run different Seeds:
+// on an ideal channel a served result is a pure function of (model, input),
+// so no rng stream may show through, batched or not.
+func TestBatchSerialDifferential(t *testing.T) {
+	for _, maxBatch := range []int{1, 2, 3, 8, 16} {
+		for seed := int64(1); seed <= 3; seed++ {
+			batched, err := New(Config{
+				Lanes: 2, Noiseless: true, Seed: 99, Cores: 2,
+				Batch: BatchConfig{MaxBatch: maxBatch, MaxDelay: 500 * time.Microsecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := New(Config{Lanes: 2, Noiseless: true, Seed: 1, Cores: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			widths := diffModels(t, batched)
+			diffModels(t, serial)
+
+			rng := rand.New(rand.NewSource(seed*1000 + int64(maxBatch)))
+			type query struct {
+				id      uint32
+				modelID uint16
+				payload []byte
+			}
+			const nq = 48
+			queries := make([]query, nq)
+			ids := []uint16{4, 5, 6}
+			for i := range queries {
+				modelID := ids[rng.Intn(len(ids))]
+				w := widths[modelID]
+				switch rng.Intn(10) {
+				case 0:
+					w-- // client mistake: wrong input width
+				case 1:
+					modelID = 77 // client mistake: unknown model
+				}
+				payload := make([]byte, w)
+				rng.Read(payload)
+				queries[i] = query{id: uint32(i + 1), modelID: modelID, payload: payload}
+			}
+
+			// Batched side: all queries in flight concurrently.
+			got := make([]diffOutcome, nq)
+			var wg sync.WaitGroup
+			for i, q := range queries {
+				wg.Add(1)
+				go func(i int, q query) {
+					defer wg.Done()
+					resp, err := batched.HandleMessage(&Message{RequestID: q.id, ModelID: q.modelID, Payload: q.payload})
+					got[i] = outcomeOf(t, resp, err)
+				}(i, q)
+			}
+			drainUntil(t, batched, &wg)
+
+			// Serial side: same queries, one at a time.
+			for i, q := range queries {
+				resp, err := serial.HandleMessage(&Message{RequestID: q.id, ModelID: q.modelID, Payload: q.payload})
+				want := outcomeOf(t, resp, err)
+				if !bytes.Equal(got[i].resp, want.resp) || got[i].err != want.err {
+					t.Fatalf("maxBatch=%d seed=%d query %d (model %d): batched %+v != serial %+v",
+						maxBatch, seed, q.id, q.modelID, got[i], want)
+				}
+			}
+
+			m := batched.Metrics()
+			if m.Served != serial.Metrics().Served {
+				t.Fatalf("maxBatch=%d seed=%d served %d != serial %d", maxBatch, seed, m.Served, serial.Metrics().Served)
+			}
+			if maxBatch > 1 && m.Batch.Queries == 0 {
+				t.Fatalf("maxBatch=%d: no queries went through the batch queue", maxBatch)
+			}
+			if m.BatchPending != 0 {
+				t.Fatalf("maxBatch=%d: %d queries still pending after drain", maxBatch, m.BatchPending)
+			}
+		}
+	}
+}
+
+// TestBatchDrainFlushesPending pins the NIC.Drain contract directly: with a
+// delay too long to fire during the test, queued queries complete only
+// because Drain flushes them.
+func TestBatchDrainFlushesPending(t *testing.T) {
+	n, err := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 7,
+		Batch: BatchConfig{MaxBatch: 8, MaxDelay: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const width = 32
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	const k = 3 // strictly fewer than MaxBatch: nothing flushes on its own
+	var wg sync.WaitGroup
+	resps := make([]*Response, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := serveQuery(t, n, uint32(i+1), 4, brightHalfQuery(width, i%2))
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+			}
+			resps[i] = resp
+		}(i)
+	}
+	for i := 0; i < 10000 && n.Metrics().BatchPending != k; i++ {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if got := n.Metrics().BatchPending; got != k {
+		t.Fatalf("pending = %d, want %d queued behind the delay timer", got, k)
+	}
+	if err := n.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, resp := range resps {
+		if resp == nil || int(resp.Class) != i%2 || resp.Err {
+			t.Fatalf("drained query %d got %+v", i, resp)
+		}
+	}
+	m := n.Metrics()
+	if m.Batch.DrainFlushes == 0 || m.BatchPending != 0 {
+		t.Fatalf("drain accounting: %+v pending=%d", m.Batch, m.BatchPending)
+	}
+}
+
+// FuzzBatchEquivalence feeds adversarial arrival orders and fragment
+// interleavings through the batch queue: every query is split into
+// fragments, fragments are shuffled and interleaved across requests (a
+// random prefix arrives serially, the rest race from per-request
+// goroutines), and whichever fragment completes reassembly enters the
+// batch. However the batches form, each response must be bit-identical to
+// the serial twin's answer for the same whole query.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(6), uint8(9))
+	f.Add(int64(2), uint8(0), uint8(1), uint8(0))
+	f.Add(int64(3), uint8(6), uint8(12), uint8(28))
+	f.Add(int64(4), uint8(2), uint8(3), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, maxBatchB, nqB, fragB uint8) {
+		maxBatch := 2 + int(maxBatchB%7) // 2..8
+		nq := 1 + int(nqB%12)            // 1..12
+		maxPayload := 9 + int(fragB)%24  // 9..32: > FragHeaderLen, forces multi-fragment queries
+		rng := rand.New(rand.NewSource(seed))
+
+		batched, err := New(Config{
+			Lanes: 2, Noiseless: true, Seed: 99, Cores: 2,
+			Batch: BatchConfig{MaxBatch: maxBatch, MaxDelay: 50 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := New(Config{Lanes: 2, Noiseless: true, Seed: 1, Cores: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		widths := diffModels(t, batched)
+		diffModels(t, serial)
+
+		type query struct {
+			id      uint32
+			modelID uint16
+			payload []byte
+			frags   []*Message
+		}
+		queries := make([]query, nq)
+		ids := []uint16{4, 5, 6}
+		for i := range queries {
+			modelID := ids[rng.Intn(len(ids))]
+			w := widths[modelID]
+			if rng.Intn(8) == 0 {
+				w++ // client mistake, discovered only after reassembly
+			}
+			payload := make([]byte, w)
+			rng.Read(payload)
+			frags, err := nic.Fragment(uint32(i+1), modelID, payload, maxPayload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Adversarial arrival order within the request: reassembly is
+			// offset-based, so any permutation is legal.
+			rng.Shuffle(len(frags), func(a, b int) { frags[a], frags[b] = frags[b], frags[a] })
+			queries[i] = query{id: uint32(i + 1), modelID: modelID, payload: payload, frags: frags}
+		}
+
+		// A random strict prefix of each request's fragments arrives
+		// serially, interleaved across requests in random global order.
+		type arrival struct{ q, frag int }
+		var prefix []arrival
+		rest := make([][]int, nq)
+		for qi := range queries {
+			cut := rng.Intn(len(queries[qi].frags)) // strict: completion never happens here
+			for fi := 0; fi < cut; fi++ {
+				prefix = append(prefix, arrival{qi, fi})
+			}
+			for fi := cut; fi < len(queries[qi].frags); fi++ {
+				rest[qi] = append(rest[qi], fi)
+			}
+		}
+		rng.Shuffle(len(prefix), func(a, b int) { prefix[a], prefix[b] = prefix[b], prefix[a] })
+		for _, ar := range prefix {
+			fr := queries[ar.q].frags[ar.frag]
+			if resp, err := batched.HandleMessage(fr); resp != nil || err != nil {
+				t.Fatalf("prefix fragment completed query %d early: %+v %v", ar.q, resp, err)
+			}
+		}
+
+		// The remaining fragments race: one goroutine per request, started
+		// in shuffled order. Exactly one HandleMessage call per request
+		// completes reassembly and rides the batch queue.
+		order := rng.Perm(nq)
+		got := make([]diffOutcome, nq)
+		var wg sync.WaitGroup
+		for _, qi := range order {
+			wg.Add(1)
+			go func(qi int) {
+				defer wg.Done()
+				for _, fi := range rest[qi] {
+					resp, err := batched.HandleMessage(queries[qi].frags[fi])
+					if resp != nil || err != nil {
+						got[qi] = outcomeOf(t, resp, err)
+					}
+				}
+			}(qi)
+		}
+		drainUntil(t, batched, &wg)
+
+		for qi, q := range queries {
+			resp, err := serial.HandleMessage(&Message{RequestID: q.id, ModelID: q.modelID, Payload: q.payload})
+			want := outcomeOf(t, resp, err)
+			if !bytes.Equal(got[qi].resp, want.resp) || got[qi].err != want.err {
+				t.Fatalf("query %d (model %d, %d frags): batched %+v != serial %+v",
+					q.id, q.modelID, len(q.frags), got[qi], want)
+			}
+		}
+	})
+}

@@ -21,3 +21,17 @@ func BenchmarkServeCoresScaling(b *testing.B) {
 		b.Run(bench.ServeCoresName(cores)[len("ServeCoresScaling/"):], bench.ServeCores(cores))
 	}
 }
+
+func BenchmarkEndToEndInferenceBatch(b *testing.B) {
+	for _, batch := range bench.ServeBatchSweep {
+		b.Run(bench.EndToEndInferenceBatchName(batch)[len("EndToEndInferenceBatch/"):],
+			bench.EndToEndInferenceBatch(batch))
+	}
+}
+
+func BenchmarkServeBatchScaling(b *testing.B) {
+	for _, cores := range bench.ServeBatchCoresSweep {
+		b.Run(bench.ServeBatchCoresName(cores)[len("ServeBatchScaling/"):],
+			bench.ServeBatchCores(cores))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -164,6 +165,143 @@ func TestChaosDeadLaneSurvivorsKeepServing(t *testing.T) {
 	}
 	if m.Shards[0].Served != 20 || m.Shards[1].Served != 0 {
 		t.Errorf("served split %d/%d, want 20/0", m.Shards[0].Served, m.Shards[1].Served)
+	}
+}
+
+// TestChaosBatchQuarantineMidBatch: a shard breaker opening while a batch is
+// still queued must not drop a single query. Shard choice happens at flush
+// time, so the parked batch re-routes to the survivor and every response
+// comes back correct.
+func TestChaosBatchQuarantineMidBatch(t *testing.T) {
+	const (
+		width = 64
+		k     = 5 // strictly fewer than MaxBatch: the batch stays parked
+	)
+	n, err := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 26, Cores: 2,
+		RelockAttempts: 1, RelockBackoff: time.Millisecond,
+		Batch: BatchConfig{MaxBatch: 8, MaxDelay: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	// Park k queries in the batch queue behind the (never-firing) delay.
+	var wg sync.WaitGroup
+	resps := make([]*Response, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = serveQuery(t, n, uint32(i+1), 4, brightHalfQuery(width, i%2))
+		}(i)
+	}
+	for i := 0; i < 10000 && n.Metrics().BatchPending != k; i++ {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if got := n.Metrics().BatchPending; got != k {
+		t.Fatalf("pending = %d, want %d parked mid-batch", got, k)
+	}
+	// Mid-batch chaos: wreck shard 0 and trip its breaker while the batch
+	// is still queued.
+	runner := fault.NewRunner(fault.NewPlan().At(0, 0, fault.DeadLane{Lane: 1}), n)
+	if fired := runner.Step(); len(fired) != 1 || fired[0].Err != nil {
+		t.Fatalf("injection: %v", fired)
+	}
+	if errs := n.ProbeShards(); errs[0] == nil || errs[1] != nil {
+		t.Fatalf("probe sweep = %v, want only shard 0 tripped", errs)
+	}
+	// Drain flushes the parked batch; the flush-time pick must route it to
+	// the surviving shard.
+	if err := n.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d dropped across quarantine: %v", i+1, errs[i])
+		}
+		if resps[i] == nil || resps[i].Err || int(resps[i].Class) != i%2 {
+			t.Fatalf("query %d re-routed wrong: %+v", i+1, resps[i])
+		}
+	}
+	m := n.Metrics()
+	if m.Shards[0].State != ShardQuarantined {
+		t.Fatalf("shard 0 state = %v, want quarantined", m.Shards[0].State)
+	}
+	if m.Shards[0].Served != 0 || m.Shards[1].Served != uint64(k) {
+		t.Fatalf("served split %d/%d, want 0/%d (batch re-routed whole)",
+			m.Shards[0].Served, m.Shards[1].Served, k)
+	}
+	if m.Batch.DrainFlushes == 0 || m.BatchPending != 0 {
+		t.Fatalf("batch accounting after re-route: %+v pending=%d", m.Batch, m.BatchPending)
+	}
+}
+
+// TestChaosBatchAllQuarantinedDegradedPerRequest: when every shard is
+// quarantined, a flushed batch must still answer each request individually
+// with an Err-flagged response and ErrUnavailable — degraded mode speaks
+// per request, never per batch, and never silently.
+func TestChaosBatchAllQuarantinedDegradedPerRequest(t *testing.T) {
+	const (
+		width = 64
+		k     = 3
+	)
+	n, err := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 27, Cores: 1,
+		RelockAttempts: 1, RelockBackoff: time.Millisecond,
+		Batch: BatchConfig{MaxBatch: 8, MaxDelay: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	runner := fault.NewRunner(fault.NewPlan().At(0, 0, fault.DeadLane{Lane: 0}), n)
+	if fired := runner.Step(); len(fired) != 1 || fired[0].Err != nil {
+		t.Fatalf("injection: %v", fired)
+	}
+	if errs := n.ProbeShards(); errs[0] == nil {
+		t.Fatal("probe sweep missed the dead lane")
+	}
+	if err := n.Drain(t.Context()); err != nil { // recovery attempts exhaust
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	resps := make([]*Response, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = serveQuery(t, n, uint32(i+1), 4, brightHalfQuery(width, i%2))
+		}(i)
+	}
+	for i := 0; i < 10000 && n.Metrics().BatchPending != k; i++ {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if err := n.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if !errors.Is(errs[i], ErrUnavailable) {
+			t.Fatalf("query %d error = %v, want ErrUnavailable", i+1, errs[i])
+		}
+		if resps[i] == nil || !resps[i].Err || resps[i].RequestID != uint32(i+1) {
+			t.Fatalf("query %d degraded response = %+v, want its own Err-flagged response", i+1, resps[i])
+		}
+	}
+	m := n.Metrics()
+	if m.Health.Unavailable != k {
+		t.Fatalf("unavailable = %d, want %d (one per batched request)", m.Health.Unavailable, k)
+	}
+	if m.Served != 0 {
+		t.Fatalf("served = %d through a fully quarantined NIC", m.Served)
 	}
 }
 

@@ -3,6 +3,7 @@
 // photonic datapath, and answers Lightning wire queries.
 //
 //	lightning-serve -addr :4055 -model digits
+//	lightning-serve -workers 8 -max-batch 8 -max-delay 200us
 package main
 
 import (
@@ -28,6 +29,8 @@ func main() {
 	savePath := flag.String("save", "", "save the trained model to this file")
 	workers := flag.Int("workers", 1, "UDP worker pool size")
 	cores := flag.Int("cores", 1, "photonic core shards (1 = the §6 prototype)")
+	maxBatch := flag.Int("max-batch", 1, "coalesce up to this many same-model queries into one matrix pass (1 disables batching)")
+	maxDelay := flag.Duration("max-delay", 0, "flush a partial batch after this long (0 = default; needs -max-batch > 1)")
 	statsEvery := flag.Duration("stats", 10*time.Second, "periodic stats line interval (0 disables)")
 	reassemblyTTL := flag.Duration("reassembly-ttl", 0, "partial-query reassembly TTL (0 = default)")
 	healthWindow := flag.Int("health-window", 0, "per-shard health window in served queries (0 = default)")
@@ -94,6 +97,7 @@ func main() {
 		ReassemblyTTL: *reassemblyTTL,
 		HealthWindow:  *healthWindow, HealthThreshold: *healthThreshold,
 		ProbeEvery: *probeEvery,
+		Batch:      lightning.BatchConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -130,6 +134,11 @@ func main() {
 			line += fmt.Sprintf(" | health: quarantines %d, readmissions %d, relocks %d/%d fail, probes %d/%d fail, unavailable %d",
 				h.Quarantines, h.Readmissions, h.Relocks, h.RelockFailures,
 				h.Probes, h.ProbeFailures, h.Unavailable)
+		}
+		if b := m.Batch; b.Queries > 0 || m.BatchPending > 0 {
+			line += fmt.Sprintf(" | batch: %d queries / %d flushes (full %d, timer %d, drain %d), max %d, pending %d",
+				b.Queries, b.Flushes, b.FullFlushes, b.TimerFlushes, b.DrainFlushes,
+				b.MaxBatch, m.BatchPending)
 		}
 		return line
 	}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"strconv"
+	"time"
+
+	lightning "github.com/lightning-smartnic/lightning"
+	"github.com/lightning-smartnic/lightning/internal/dagloader"
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/dataset"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+	"testing"
+)
+
+// ServeBatchSweep is the batch-size series the cross-query batching
+// benchmarks sweep; the report derives its batch_scaling section from the
+// EndToEndInferenceBatch points.
+var ServeBatchSweep = []int{1, 2, 4, 8, 16}
+
+// ServeBatchCoresSweep is the shard-count axis of the cores × batch grid.
+// Batch=1 of the same grid is already covered by ServeCoresScaling, so the
+// grid runs only the batched column per core count.
+var ServeBatchCoresSweep = []int{1, 2, 4}
+
+// ServeBatchCoresBatch is the batch size the cores × batch grid runs at.
+const ServeBatchCoresBatch = 8
+
+// EndToEndInferenceBatchName names one point of the batch-scaling series.
+func EndToEndInferenceBatchName(batch int) string {
+	return "EndToEndInferenceBatch/batch=" + strconv.Itoa(batch)
+}
+
+// ServeBatchCoresName names one point of the cores × batch serving grid.
+func ServeBatchCoresName(cores int) string {
+	return "ServeBatchScaling/cores=" + strconv.Itoa(cores) +
+		"/batch=" + strconv.Itoa(ServeBatchCoresBatch)
+}
+
+// EndToEndInferenceBatch measures the same full inference datapath as
+// EndToEndInference, but serving b.N queries through the loader's matrix
+// pass in groups of `batch`. b.N counts QUERIES, not batches, so ns/op is
+// directly cost-per-query and comparable across batch sizes: the shared
+// preamble, single LUT sweep, one readout per neuron-batch and one
+// reconfiguration per layer per batch all show up as the per-query number
+// falling as the batch grows.
+func EndToEndInferenceBatch(batch int) func(*testing.B) {
+	return func(b *testing.B) {
+		set := dataset.Anomaly(300, 1)
+		net := nn.New(1, dataset.FlowFeatureWidth, 16, 8, 2)
+		cfg := nn.DefaultTrainConfig()
+		cfg.Epochs = 5
+		net.Train(set, cfg)
+		q := nn.Quantize(net, set)
+		core, err := photonic.NewCore(2, photonic.CalibratedNoise(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		loader := dagloader.NewLoader(datapath.NewEngine(core, 1), mem.New(mem.DDR4Spec(), 1))
+		if err := loader.RegisterModel(1, "anomaly", q); err != nil {
+			b.Fatal(err)
+		}
+		inputs := make([][]fixed.Code, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			k := batch
+			if i+k > b.N {
+				k = b.N - i
+			}
+			for j := 0; j < k; j++ {
+				inputs[j] = set.Examples[(i+j)%len(set.Examples)].X
+			}
+			if _, _, err := loader.ServeBatch(1, inputs[:k]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ServeBatchCores is the NIC-level point of the cores × batch grid:
+// concurrent HandleMessage load against a batching NIC, enough in-flight
+// callers to keep the per-model queue filling whole batches. Compare
+// against the same core count's ServeCoresScaling point to see what the
+// batch queue buys end to end (framing, queue hand-off and fan-out
+// included).
+func ServeBatchCores(cores int) func(*testing.B) {
+	return func(b *testing.B) {
+		set := dataset.Anomaly(300, 1)
+		net := nn.New(1, dataset.FlowFeatureWidth, 16, 8, 2)
+		cfg := nn.DefaultTrainConfig()
+		cfg.Epochs = 5
+		net.Train(set, cfg)
+		q := nn.Quantize(net, set)
+		raw := make([]byte, len(set.Examples[0].X))
+		for i, c := range set.Examples[0].X {
+			raw[i] = byte(c)
+		}
+		n, err := lightning.New(lightning.Config{
+			Lanes: 2, Seed: 1, Cores: cores,
+			Batch: lightning.BatchConfig{
+				MaxBatch: ServeBatchCoresBatch,
+				MaxDelay: 200 * time.Microsecond,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.RegisterModel(1, "anomaly", q); err != nil {
+			b.Fatal(err)
+		}
+		// SetParallelism keeps at least a full batch of callers in flight
+		// regardless of GOMAXPROCS, so flushes are size-triggered rather
+		// than left to the delay timer.
+		b.SetParallelism(ServeBatchCoresBatch)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				msg := &lightning.Message{RequestID: 1, ModelID: 1, Payload: raw}
+				if _, err := n.HandleMessage(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

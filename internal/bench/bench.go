@@ -36,10 +36,22 @@ func Set() []Benchmark {
 		{Name: "PhotonicDot1024", F: PhotonicDot1024},
 		{Name: "EndToEndInference", F: EndToEndInference},
 	}
+	for _, batch := range ServeBatchSweep {
+		s = append(s, Benchmark{
+			Name: EndToEndInferenceBatchName(batch),
+			F:    EndToEndInferenceBatch(batch),
+		})
+	}
 	for _, cores := range ServeCoresSweep {
 		s = append(s, Benchmark{
 			Name: ServeCoresName(cores),
 			F:    ServeCores(cores),
+		})
+	}
+	for _, cores := range ServeBatchCoresSweep {
+		s = append(s, Benchmark{
+			Name: ServeBatchCoresName(cores),
+			F:    ServeBatchCores(cores),
 		})
 	}
 	return s

@@ -29,9 +29,20 @@ type ScalingPoint struct {
 	SpeedupVs1 float64 `json:"speedup_vs_1core"`
 }
 
+// BatchPoint is one batch size of the batch-scaling series. NsPerQuery is
+// cost per QUERY (the batched benchmarks count b.N in queries), so the
+// series reads directly as "what one inference costs at this batch size".
+type BatchPoint struct {
+	Batch      int     `json:"batch"`
+	NsPerQuery float64 `json:"ns_per_query"`
+	// SpeedupVsBatch1 is the series' batch=1 cost divided by this one's.
+	SpeedupVsBatch1 float64 `json:"speedup_vs_batch1"`
+}
+
 // Report is the JSON document lightning-bench emits (BENCH_PR5.json's
-// schema). Baseline results, when supplied, ride along verbatim with the
-// derived per-benchmark speedups, so one file carries the before/after pair.
+// schema; BENCH_PR6.json adds batch_scaling). Baseline results, when
+// supplied, ride along verbatim with the derived per-benchmark speedups, so
+// one file carries the before/after pair.
 type Report struct {
 	SchemaVersion int                `json:"schema_version"`
 	GoVersion     string             `json:"go_version"`
@@ -41,6 +52,7 @@ type Report struct {
 	Benchtime     string             `json:"benchtime"`
 	Results       []Result           `json:"results"`
 	CoresScaling  []ScalingPoint     `json:"cores_scaling,omitempty"`
+	BatchScaling  []BatchPoint       `json:"batch_scaling,omitempty"`
 	Baseline      []Result           `json:"baseline,omitempty"`
 	SpeedupVsBase map[string]float64 `json:"speedup_vs_baseline,omitempty"`
 }
@@ -106,7 +118,32 @@ func RunSet(name, benchtime string, progress io.Writer) (*Report, error) {
 		return nil, fmt.Errorf("bench: no benchmark named %q (see Set)", name)
 	}
 	rep.CoresScaling = deriveScaling(rep.Results)
+	rep.BatchScaling = deriveBatchScaling(rep.Results)
 	return rep, nil
+}
+
+// deriveBatchScaling extracts the batch-scaling series from the flat
+// results.
+func deriveBatchScaling(results []Result) []BatchPoint {
+	var pts []BatchPoint
+	var base float64
+	for _, batch := range ServeBatchSweep {
+		want := EndToEndInferenceBatchName(batch)
+		for _, r := range results {
+			if r.Name != want {
+				continue
+			}
+			p := BatchPoint{Batch: batch, NsPerQuery: r.NsPerOp}
+			if base == 0 {
+				base = r.NsPerOp
+			}
+			if r.NsPerOp > 0 {
+				p.SpeedupVsBatch1 = base / r.NsPerOp
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
 }
 
 // deriveScaling extracts the cores-scaling series from the flat results.

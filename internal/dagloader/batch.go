@@ -1,0 +1,86 @@
+package dagloader
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// ServeBatch runs a batch of same-model queries through the reconfigurable
+// datapath as matrix-matrix passes: per layer it applies the compiled
+// program ONCE, streams the layer's weights from DRAM ONCE, and executes
+// every query's activations through the batched photonic pipeline in a
+// single shared burst per output neuron. This is the serve-path payoff of
+// batching — the per-layer reconfiguration, DRAM weight stream, decode, and
+// fixed datapath overhead all amortize across the batch, where Serve pays
+// each of them per query.
+//
+// Results come back in input order, one per query, with per-query verdicts
+// (Class, Probs, Raw) computed independently — batching shares analog
+// framing, never numerics. The per-Result Stats fields are zero: cycle
+// accounting for a batched pass is inherently shared, so it is returned
+// once as the whole-batch LayerStats. On an ideal (noiseless) channel the
+// per-query outputs are bit-identical to Serve's; a batch of one is in rng
+// lockstep with Serve and so bit-identical noise model included.
+//
+// Like Serve, ServeBatch holds the store's read lock for the whole batch,
+// so a concurrent model update waits for in-flight batches to drain. Errors
+// are whole-batch: callers validate per-query preconditions (model exists,
+// input width) before enqueueing, so a failure here means the batch itself
+// cannot run (model dropped, DRAM corruption), not that one query was bad.
+func (ld *Loader) ServeBatch(id uint16, inputs [][]fixed.Code) ([]*Result, datapath.LayerStats, error) {
+	var batchStats datapath.LayerStats
+	if len(inputs) == 0 {
+		return nil, batchStats, nil
+	}
+	ld.Store.mu.RLock()
+	defer ld.Store.mu.RUnlock()
+	mc, ok := ld.Store.models[id]
+	if !ok {
+		return nil, batchStats, fmt.Errorf("dagloader: unknown model id %d", id)
+	}
+	for qi, input := range inputs {
+		if len(input) != mc.Layers[0].In {
+			return nil, batchStats, fmt.Errorf("dagloader: batch query %d input length %d != model %s first-layer width %d",
+				qi, len(input), mc.Name, mc.Layers[0].In)
+		}
+	}
+	results := make([]*Result, len(inputs))
+	for qi := range results {
+		results[qi] = &Result{}
+	}
+	acts := inputs
+	next := make([][]fixed.Code, len(inputs))
+	for _, lc := range mc.Layers {
+		lc.Program.Apply(ld.Regs)
+		ld.Reconfigurations++
+
+		blob, ok := ld.DRAM.Load(lc.WeightsKey)
+		if !ok {
+			return nil, batchStats, fmt.Errorf("dagloader: weights %q missing from DRAM", lc.WeightsKey)
+		}
+		weights, err := DecodeWeights(blob, lc.Out, lc.In)
+		if err != nil {
+			return nil, batchStats, err
+		}
+		biasBlob, _ := ld.DRAM.Load(lc.BiasKey)
+		bias := DecodeBias(biasBlob)
+
+		out := ld.Engine.ExecuteFCBiasBatch(weights, bias, acts, lc.Activation, lc.Shift)
+		batchStats.Add(out.Stats)
+		if ld.Regs.Read(RegLast) == 1 {
+			for qi, fc := range out.PerQuery {
+				results[qi].Raw = fc.Raw
+				results[qi].Probs = datapath.Softmax(fc.Raw)
+				results[qi].Class = datapath.Argmax(fc.Raw)
+			}
+			return results, batchStats, nil
+		}
+		for qi, fc := range out.PerQuery {
+			next[qi] = datapath.RequantizeVec(fc.Raw, lc.Shift)
+		}
+		acts, next = next, make([][]fixed.Code, len(inputs))
+	}
+	return nil, batchStats, fmt.Errorf("dagloader: model %s has no final layer", mc.Name)
+}

@@ -1,0 +1,169 @@
+package dagloader
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/datapath"
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/photonic"
+)
+
+// newNoiselessLoader builds a loader on an ideal channel, where served
+// results are a pure function of (model, input).
+func newNoiselessLoader(t *testing.T) *Loader {
+	t.Helper()
+	core, err := photonic.NewCore(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(datapath.NewEngine(core, 5), mem.New(mem.DDR4Spec(), 5))
+}
+
+func batchInputs(width, q int) [][]fixed.Code {
+	xs := make([][]fixed.Code, q)
+	for qi := range xs {
+		xs[qi] = make([]fixed.Code, width)
+		for i := range xs[qi] {
+			xs[qi][i] = fixed.Code((i*29 + qi*101 + 3) % 256)
+		}
+	}
+	return xs
+}
+
+// TestServeBatchMatchesServeNoiseless: one batched multi-layer inference
+// pass must produce, per query, exactly the Result a fresh serial loader
+// produces — class, probabilities, and raw logits bit-identical.
+func TestServeBatchMatchesServeNoiseless(t *testing.T) {
+	q, _, _ := trainedAnomalyNet(t)
+	for _, batch := range []int{1, 2, 4, 7} {
+		bl := newNoiselessLoader(t)
+		if err := bl.RegisterModel(3, "anomaly", q); err != nil {
+			t.Fatal(err)
+		}
+		width := mustWidth(t, bl, 3)
+		inputs := batchInputs(width, batch)
+		got, stats, err := bl.ServeBatch(3, inputs)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if len(got) != batch {
+			t.Fatalf("batch %d returned %d results", batch, len(got))
+		}
+		if stats.PhotonicSteps == 0 {
+			t.Fatalf("batch %d recorded no photonic steps", batch)
+		}
+
+		for qi, input := range inputs {
+			sl := newNoiselessLoader(t)
+			if err := sl.RegisterModel(3, "anomaly", q); err != nil {
+				t.Fatal(err)
+			}
+			want, err := sl.Serve(3, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[qi].Class != want.Class {
+				t.Fatalf("batch %d query %d class %d != serial %d", batch, qi, got[qi].Class, want.Class)
+			}
+			if !reflect.DeepEqual(got[qi].Probs, want.Probs) || !reflect.DeepEqual(got[qi].Raw, want.Raw) {
+				t.Fatalf("batch %d query %d probs/raw diverged from serial", batch, qi)
+			}
+		}
+	}
+}
+
+// TestServeBatchOfOneBitIdenticalNoisy: a batch of one is in rng lockstep
+// with the serial path, so even with the noise model attached the Result is
+// bit-identical — stats included.
+func TestServeBatchOfOneBitIdenticalNoisy(t *testing.T) {
+	q, _, _ := trainedAnomalyNet(t)
+	sl := newLoader(t)
+	if err := sl.RegisterModel(3, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+	bl := newLoader(t)
+	if err := bl.RegisterModel(3, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+	input := batchInputs(mustWidth(t, sl, 3), 1)[0]
+	want, err := sl.Serve(3, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := bl.ServeBatch(3, [][]fixed.Code{input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Class != want.Class || !reflect.DeepEqual(got[0].Probs, want.Probs) || !reflect.DeepEqual(got[0].Raw, want.Raw) {
+		t.Fatal("batch-of-1 result diverged from serial with noise on")
+	}
+	if stats != want.Stats {
+		t.Fatalf("batch-of-1 stats diverged:\nbatch  %+v\nserial %+v", stats, want.Stats)
+	}
+}
+
+// TestServeBatchAmortizesReconfigurations pins the loader-level payoff: a
+// batch of Q queries applies each layer's program once (layers total), not
+// once per query (layers × Q as Serve does).
+func TestServeBatchAmortizesReconfigurations(t *testing.T) {
+	q, _, _ := trainedAnomalyNet(t)
+	ld := newNoiselessLoader(t)
+	if err := ld.RegisterModel(3, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+	mc, _ := ld.Model(3)
+	inputs := batchInputs(mc.Layers[0].In, 6)
+
+	before := ld.Reconfigurations
+	if _, _, err := ld.ServeBatch(3, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if got := ld.Reconfigurations - before; got != uint64(len(mc.Layers)) {
+		t.Fatalf("batch of 6 applied %d programs, want %d (one per layer)", got, len(mc.Layers))
+	}
+
+	before = ld.Reconfigurations
+	for _, in := range inputs {
+		if _, err := ld.Serve(3, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ld.Reconfigurations - before; got != uint64(len(mc.Layers)*len(inputs)) {
+		t.Fatalf("serial ×6 applied %d programs, want %d", got, len(mc.Layers)*len(inputs))
+	}
+}
+
+// TestServeBatchErrors covers the whole-batch error surface: empty batch,
+// unknown model, and a width mismatch anywhere in the batch.
+func TestServeBatchErrors(t *testing.T) {
+	q, _, _ := trainedAnomalyNet(t)
+	ld := newNoiselessLoader(t)
+	if err := ld.RegisterModel(3, "anomaly", q); err != nil {
+		t.Fatal(err)
+	}
+	width := mustWidth(t, ld, 3)
+
+	res, _, err := ld.ServeBatch(3, nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	if _, _, err := ld.ServeBatch(99, batchInputs(width, 2)); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	bad := batchInputs(width, 3)
+	bad[1] = bad[1][:width-1]
+	if _, _, err := ld.ServeBatch(3, bad); err == nil {
+		t.Fatal("width mismatch mid-batch accepted")
+	}
+}
+
+func mustWidth(t *testing.T, ld *Loader, id uint16) int {
+	t.Helper()
+	mc, ok := ld.Model(id)
+	if !ok {
+		t.Fatalf("model %d not registered", id)
+	}
+	return mc.Layers[0].In
+}

@@ -1,0 +1,233 @@
+package datapath
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Cross-query batching through the engine: where runDot pushes one query's
+// dot product through the analog+digital pipeline, runDotBatch pushes one
+// output neuron's dot for Q queries through a single shared burst — the
+// matrix-matrix pass the count-action abstraction makes natural (counts
+// just grow by the batch dimension). The per-batch amortizations, each of
+// which the serial path pays once per query:
+//
+//   - one preamble prefix (and so one preamble detection) per neuron per
+//     batch instead of per neuron per query;
+//   - one LUT-validity sweep per photonic pass (DotPartialsBatchInto)
+//     instead of two per query;
+//   - one ADC readout covering every query's partials;
+//   - per layer, one count-action reconfiguration and one DRAM weight
+//     stream (see dagloader.ServeBatch).
+//
+// Equivalence contract: on an ideal (noiseless) channel a batched pass is
+// bit-identical to serving the queries serially — the analog steps per
+// query are exactly the serial ones, payload samples quantize identically,
+// and preamble detection recovers them exactly — which the differential
+// suite enforces. With a noise model the batch draws the shared-burst noise
+// stream in a different order than Q serial bursts would, as physically
+// distinct schedules must; batch size 1 stays in rng lockstep with runDot
+// (same burst, same draws), so an idle batching server remains byte-
+// identical to a serial one.
+
+// runDotBatch computes one output neuron's dot product W·x_q for every
+// query q in the batch, writing the reassembled accumulator values into
+// out[0:len(xs)]. Weights are sign/magnitude; each query's elements are
+// grouped by weight sign exactly as runDot groups them, every group keeps
+// its own analog tail step, and the cross-cycle adder reassembles each
+// query's segment of the shared payload separately, so per-query results
+// carry no cross-query analog coupling.
+//
+// All working storage comes from the engine's batch scratch; after ensure
+// the steady state performs zero heap allocations (see the AllocsPerRun
+// guard). Not reentrant; the engine's single-owner contract applies.
+//
+//lint:hotpath
+func (e *Engine) runDotBatch(w []fixed.Signed, xs [][]fixed.Code, adder *CrossCycleAdder, out []fixed.Acc, stats *LayerStats) {
+	q := len(xs)
+	if len(out) < q {
+		panic(fmt.Sprintf("datapath: batch out length %d < %d queries", len(out), q))
+	}
+	s := &e.scratch
+	s.ensureBatch(e.Preamble, len(w), q)
+	lanes := e.Core.NumLanes()
+	s.bounds = s.bounds[:2*q+1]
+	s.qPos, s.qParts = s.qPos[:q], s.qParts[:q]
+	s.bounds[0] = 0
+	bi, g, total := 0, 1, 0
+	for qi := 0; qi < q; qi++ {
+		x := xs[qi]
+		if len(x) != len(w) {
+			panic(fmt.Sprintf("datapath: weight row length %d != activation length %d", len(w), len(x)))
+		}
+		np, nn := 0, 0
+		for i, wi := range w {
+			if wi.Mag == 0 || x[i] == 0 {
+				continue // zero products need no analog step (sparse skip)
+			}
+			if wi.Neg {
+				s.negW[nn], s.negX[nn] = wi.Mag, x[i]
+				nn++
+			} else {
+				s.posW[np], s.posX[np] = wi.Mag, x[i]
+				np++
+			}
+		}
+		copy(s.bW[bi:], s.posW[:np])
+		copy(s.bX[bi:], s.posX[:np])
+		bi += np
+		s.bounds[g] = bi
+		g++
+		copy(s.bW[bi:], s.negW[:nn])
+		copy(s.bX[bi:], s.negX[:nn])
+		bi += nn
+		s.bounds[g] = bi
+		g++
+		posSteps := (np + lanes - 1) / lanes
+		negSteps := (nn + lanes - 1) / lanes
+		s.qPos[qi], s.qParts[qi] = posSteps, posSteps+negSteps
+		total += posSteps + negSteps
+	}
+	stats.PhotonicSteps += uint64(total)
+	if total == 0 {
+		for qi := 0; qi < q; qi++ {
+			out[qi] = 0
+		}
+		return
+	}
+
+	// One batched photonic pass: a single LUT-validity decision covers
+	// every query's sign groups.
+	s.bParts = e.Core.DotPartialsBatchInto(s.bParts, s.bW[:bi], s.bX[:bi], s.bounds[:g])
+
+	// Sign controls pair one-to-one with the concatenated partials.
+	s.negs = s.negs[:total]
+	p := 0
+	for qi := 0; qi < q; qi++ {
+		for k := 0; k < s.qParts[qi]; k++ {
+			s.negs[p] = k >= s.qPos[qi]
+			p++
+		}
+	}
+
+	// One shared burst: the preamble prefix is paid once for the whole
+	// batch, and one ADC readout at one arbitrary phase digitizes every
+	// query's partials.
+	s.burst = s.burst[:len(s.pre)+total]
+	copy(s.burst, s.pre)
+	copy(s.burst[len(s.pre):], s.bParts)
+	phase := e.ADC.RandomPhase()
+	s.frames = e.ADC.ReadoutFramesInto(s.frames[:0], s.burst, phase)
+	stats.DatapathCycles += uint64(len(s.frames))
+
+	// One count-action preamble detection locates every query's samples.
+	e.detector.Reset()
+	detPhase, _, ok := e.detector.Detect(s.frames)
+	if !ok {
+		stats.PreambleMisses++
+		detPhase = phase // exception path: fall back to known phase
+	}
+	s.payload = e.detector.ExtractPayloadInto(s.payload[:0], s.frames, detPhase, total)
+
+	// Per-query reassembly: slice the shared payload back apart and run
+	// each query's segment through the cross-cycle adder and the tree.
+	start := 0
+	for qi := 0; qi < q; qi++ {
+		parts := s.qParts[qi]
+		if parts == 0 {
+			out[qi] = 0
+			continue
+		}
+		lo, hi := start, start+parts
+		start = hi
+		if lo > len(s.payload) {
+			lo = len(s.payload)
+		}
+		if hi > len(s.payload) {
+			hi = len(s.payload)
+		}
+		seg, negSeg := s.payload[lo:hi], s.negs[lo:hi]
+		adder.SetPartialsPerDot(len(seg))
+		for i := 0; i < len(seg); i += Lanes {
+			end := i + Lanes
+			if end > len(seg) {
+				end = len(seg)
+			}
+			for _, v := range seg[i:end] {
+				if v == fixed.MaxCode {
+					stats.SaturatedSamples++
+				}
+			}
+			adder.Accumulate(seg[i:end], negSeg[i:end])
+			stats.ComputeCycles++
+		}
+		drained := adder.Drain()
+		sum, treeCycles := TreeSumInPlace(drained[:])
+		stats.ComputeCycles += uint64(treeCycles)
+		out[qi] = sum
+	}
+}
+
+// BatchFCResult is the output of one fully-connected layer executed for a
+// batch of queries in a single matrix pass.
+type BatchFCResult struct {
+	// PerQuery holds each query's layer output in batch order. The
+	// per-query Stats fields are zero: cycle accounting for a batched
+	// pass is inherently shared, so it lives in Stats below.
+	PerQuery []FCResult
+	// Stats is the whole-batch accounting for this layer pass. Shared
+	// overheads (the per-layer reconfiguration cost, preambles, ADC
+	// framing) appear once per batch — the amortization the batched
+	// datapath exists to buy.
+	Stats LayerStats
+}
+
+// ExecuteFCBatch runs a fully-connected layer for a batch of queries
+// without bias; see ExecuteFCBiasBatch.
+func (e *Engine) ExecuteFCBatch(weights [][]fixed.Signed, xs [][]fixed.Code, act Activation, requantShift uint) BatchFCResult {
+	return e.ExecuteFCBiasBatch(weights, nil, xs, act, requantShift)
+}
+
+// ExecuteFCBiasBatch runs a fully-connected layer for every query in xs as
+// one matrix-matrix pass: out_q[j] = act(Σ_i W[j][i]·x_q[i] + bias[j]).
+// Each output neuron's weight row is sign-partitioned once per query and
+// streamed through a single shared burst (runDotBatch); the fixed per-layer
+// datapath overhead is paid once for the whole batch instead of once per
+// query. With len(xs) == 1 the pass is byte-identical (rng stream included)
+// to ExecuteFCBias.
+func (e *Engine) ExecuteFCBiasBatch(weights [][]fixed.Signed, bias []fixed.Acc, xs [][]fixed.Code, act Activation, requantShift uint) BatchFCResult {
+	q := len(xs)
+	var res BatchFCResult
+	res.PerQuery = make([]FCResult, q)
+	for qi := range res.PerQuery {
+		res.PerQuery[qi].Raw = make([]fixed.Acc, len(weights))
+	}
+	adder := NewCrossCycleAdder(1)
+	adder.Gain = e.Core.FullScaleLanes
+	// Fixed per-layer datapath overhead: DAG configuration register writes
+	// and stream setup — once per batch, not once per query.
+	res.Stats.DatapathCycles += PerLayerOverheadCycles
+	rowOut := make([]fixed.Acc, q)
+	for j, row := range weights {
+		e.runDotBatch(row, xs, adder, rowOut, &res.Stats)
+		for qi, v := range rowOut {
+			if j < len(bias) {
+				v = fixed.SatAdd(v, bias[j])
+			}
+			res.PerQuery[qi].Raw[j] = v
+		}
+	}
+	for qi := range res.PerQuery {
+		switch act {
+		case ActReLU:
+			res.PerQuery[qi].Raw = ReLUVec(res.PerQuery[qi].Raw)
+			res.Stats.ComputeCycles += CyclesReLU
+		case ActSoftmax:
+			res.PerQuery[qi].Probs = Softmax(res.PerQuery[qi].Raw)
+			res.Stats.ComputeCycles += CyclesSoftmax
+		}
+		res.PerQuery[qi].Quantized = RequantizeVec(res.PerQuery[qi].Raw, requantShift)
+	}
+	return res
+}

@@ -39,6 +39,19 @@ type engineScratch struct {
 	pre    []float64
 	preCfg PreambleConfig
 	baked  bool
+
+	// Batch dimension (runDotBatch): the same per-dot storage extended to
+	// Q concurrent queries sharing one burst. bW/bX hold every query's
+	// sign-partitioned operands flattened back to back; bounds delimits
+	// the 2Q groups (pos then neg per query) for the core's batch pass;
+	// qPos/qParts record each query's positive-group and total partial
+	// counts so the shared payload can be sliced back per query; bParts
+	// collects the concatenated analog partials.
+	bW, bX []fixed.Code
+	bounds []int
+	qPos   []int
+	qParts []int
+	bParts []float64
 }
 
 // ensure is runDot's cold path: it re-bakes the preamble prefix if the
@@ -68,5 +81,31 @@ func (s *engineScratch) ensure(cfg PreambleConfig, n int) {
 	}
 	if cap(s.burst) < len(s.pre)+n {
 		s.burst = make([]float64, len(s.pre)+n)
+	}
+}
+
+// ensureBatch is runDotBatch's cold path: ensure for the per-query staging
+// buffers, then grow the batch-dimension storage to q queries of layer
+// width n. A query contributes at most n operands (and so at most n
+// partials), so q·n bounds every flattened buffer.
+func (s *engineScratch) ensureBatch(cfg PreambleConfig, n, q int) {
+	s.ensure(cfg, n)
+	total := n * q
+	if cap(s.bW) < total {
+		s.bW = make([]fixed.Code, total)
+		s.bX = make([]fixed.Code, total)
+	}
+	if cap(s.bounds) < 2*q+1 {
+		s.bounds = make([]int, 2*q+1)
+	}
+	if cap(s.qPos) < q {
+		s.qPos = make([]int, q)
+		s.qParts = make([]int, q)
+	}
+	if cap(s.negs) < total {
+		s.negs = make([]bool, total)
+	}
+	if cap(s.burst) < len(s.pre)+total {
+		s.burst = make([]float64, len(s.pre)+total)
 	}
 }

@@ -1,0 +1,365 @@
+package nic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+)
+
+// Cross-query batching: per-model queues ahead of the datapath coalesce
+// concurrent queries for the same model into one matrix pass per shard. The
+// Batcher owns the queueing policy only — what a batch *does* is the exec
+// callback the NIC supplies — so the flush machinery (max-batch, max-delay,
+// drain) is testable with an injected timer and no analog hardware at all.
+//
+// A queued query blocks its caller (Do) until its batch executes; execution
+// happens on whichever goroutine triggered the flush: the pusher that
+// filled the batch, the delay timer for a partial batch, or the drainer.
+// Every item carries its own response slot, so fan-out preserves
+// per-request verdicts whatever the batch outcome.
+
+// DefaultBatchDelay is the max-delay flush default when batching is enabled
+// without an explicit delay: long enough to coalesce a concurrent burst,
+// short enough to stay invisible next to a multi-layer inference.
+const DefaultBatchDelay = 200 * time.Microsecond
+
+// BatchConfig sets the flush knobs for cross-query batching.
+type BatchConfig struct {
+	// MaxBatch is the flush-immediately batch size per model. Values <= 1
+	// disable batching (every query runs the serial path).
+	MaxBatch int
+	// MaxDelay bounds how long the first query of a partial batch may wait
+	// for companions before the batch flushes anyway. Values <= 0 flush on
+	// every push (batching effectively off); the NIC substitutes
+	// DefaultBatchDelay when enabling batching with no explicit delay.
+	MaxDelay time.Duration
+}
+
+// Enabled reports whether the configuration actually batches.
+func (c BatchConfig) Enabled() bool { return c.MaxBatch > 1 }
+
+// BatchItem is one queued query and its response slot. Items are pooled:
+// the Batcher owns their lifecycle, and the exec callback must not retain
+// them past its return.
+type BatchItem struct {
+	RequestID uint32
+	Input     []fixed.Code
+
+	// Resp and Err are filled by the exec callback, one verdict per item.
+	Resp Response
+	Err  error
+
+	// done carries the batch-executed signal back to the blocked Do call.
+	// Capacity 1: the executor never blocks on a waiter.
+	done chan struct{}
+	// next links the item free list.
+	next *BatchItem
+}
+
+// BatchTimer is the max-delay flush timer seam. The production timer is
+// time.AfterFunc underneath; tests inject a hand-fired fake, which keeps
+// the flush-correctness tests clockless (clockinject stays clean).
+type BatchTimer interface {
+	// Reset (re)arms the timer to fire once after d.
+	Reset(d time.Duration)
+	// Stop cancels a pending fire if it has not happened yet. Stop is
+	// best-effort: a fire already in flight is made harmless by the
+	// Batcher's generation check, not by Stop.
+	Stop()
+}
+
+// TimerFactory builds one flush timer per model queue; fire is the callback
+// the timer must invoke (on any goroutine) when the delay elapses.
+type TimerFactory func(fire func()) BatchTimer
+
+// afterFuncTimer is the production BatchTimer.
+type afterFuncTimer struct {
+	t    *time.Timer
+	fire func()
+}
+
+func (a *afterFuncTimer) Reset(d time.Duration) {
+	if a.t == nil {
+		a.t = time.AfterFunc(d, a.fire)
+		return
+	}
+	a.t.Reset(d)
+}
+
+func (a *afterFuncTimer) Stop() {
+	if a.t != nil {
+		a.t.Stop()
+	}
+}
+
+// modelBatch is one model's pending queue.
+type modelBatch struct {
+	// buf is the preallocated item buffer (len == MaxBatch); n is the fill
+	// level. On flush the whole buffer is handed to the executor and a
+	// spare swapped in, so a concurrent executor never shares an array
+	// with new pushes.
+	buf []*BatchItem
+	n   int
+	// gen counts flushes; armed records the generation the delay timer was
+	// armed for. A timer fire only flushes when armed == gen, which makes
+	// the max-delay flush exactly-once per partial batch: any full or
+	// drain flush in between bumps gen and turns the pending fire into a
+	// no-op.
+	gen, armed uint64
+	timer      BatchTimer
+}
+
+// BatchStats is a snapshot of the Batcher's flush accounting.
+type BatchStats struct {
+	// Queries counts queries that went through the batch path.
+	Queries uint64
+	// Flushes counts executed batches; the per-cause counters partition it.
+	Flushes      uint64
+	FullFlushes  uint64
+	TimerFlushes uint64
+	DrainFlushes uint64
+	// MaxBatch is the largest batch executed so far.
+	MaxBatch uint64
+}
+
+// Batcher coalesces same-model queries into batches and hands them to exec.
+// All methods are safe for concurrent use.
+type Batcher struct {
+	cfg      BatchConfig
+	exec     func(modelID uint16, items []*BatchItem)
+	newTimer TimerFactory
+
+	mu     sync.Mutex
+	queues map[uint16]*modelBatch
+	// free is the BatchItem free list; spares holds flushed batch arrays
+	// returned by executors. Both make the steady-state queue path
+	// allocation-free.
+	free   *BatchItem
+	spares [][]*BatchItem
+
+	queries      atomic.Uint64
+	flushes      atomic.Uint64
+	fullFlushes  atomic.Uint64
+	timerFlushes atomic.Uint64
+	drainFlushes atomic.Uint64
+	maxBatch     atomic.Uint64
+}
+
+// NewBatcher builds a Batcher with the production delay timer.
+func NewBatcher(cfg BatchConfig, exec func(modelID uint16, items []*BatchItem)) *Batcher {
+	return NewBatcherWithTimer(cfg, exec, func(fire func()) BatchTimer {
+		return &afterFuncTimer{fire: fire}
+	})
+}
+
+// NewBatcherWithTimer is NewBatcher with an injected flush-timer factory —
+// the clockless test seam.
+func NewBatcherWithTimer(cfg BatchConfig, exec func(modelID uint16, items []*BatchItem), factory TimerFactory) *Batcher {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	return &Batcher{
+		cfg:      cfg,
+		exec:     exec,
+		newTimer: factory,
+		queues:   make(map[uint16]*modelBatch),
+	}
+}
+
+// Config returns the batcher's resolved configuration.
+func (b *Batcher) Config() BatchConfig { return b.cfg }
+
+// Stats returns a snapshot of the flush accounting.
+func (b *Batcher) Stats() BatchStats {
+	return BatchStats{
+		Queries:      b.queries.Load(),
+		Flushes:      b.flushes.Load(),
+		FullFlushes:  b.fullFlushes.Load(),
+		TimerFlushes: b.timerFlushes.Load(),
+		DrainFlushes: b.drainFlushes.Load(),
+		MaxBatch:     b.maxBatch.Load(),
+	}
+}
+
+// Pending returns the queued-but-unflushed query count across all models.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, mb := range b.queues {
+		n += mb.n
+	}
+	return n
+}
+
+// Do queues one query and blocks until its batch has executed, returning
+// this query's verdict. The query joins its model's pending batch; the
+// batch flushes when it reaches MaxBatch (executed on this caller), when
+// the MaxDelay timer fires (executed on the timer goroutine), or when
+// FlushAll drains it.
+func (b *Batcher) Do(modelID uint16, requestID uint32, input []fixed.Code) (Response, error) {
+	b.queries.Add(1)
+	b.mu.Lock()
+	it := b.getItemLocked()
+	it.RequestID = requestID
+	it.Input = input
+	it.Resp = Response{}
+	it.Err = nil
+	mb := b.queues[modelID]
+	if mb == nil {
+		mb = b.newModelBatchLocked(modelID)
+	}
+	full := b.push(mb, it)
+	var out []*BatchItem
+	if full {
+		out = b.takeLocked(mb)
+	} else if mb.n == 1 {
+		// First query of a fresh batch: arm the max-delay flush for this
+		// generation.
+		mb.armed = mb.gen
+		mb.timer.Reset(b.cfg.MaxDelay)
+	}
+	b.mu.Unlock()
+	if full {
+		b.fullFlushes.Add(1)
+		b.runBatch(modelID, out)
+	}
+	<-it.done
+	resp, err := it.Resp, it.Err
+	b.mu.Lock()
+	b.putItemLocked(it)
+	b.mu.Unlock()
+	return resp, err
+}
+
+// FlushAll drains every model's pending batch, executing each on the
+// calling goroutine. NIC.Drain uses it so a drained NIC has no query parked
+// behind a delay timer.
+func (b *Batcher) FlushAll() {
+	for {
+		b.mu.Lock()
+		var modelID uint16
+		var out []*BatchItem
+		for id, mb := range b.queues {
+			if mb.n > 0 {
+				modelID = id
+				out = b.takeLocked(mb)
+				break
+			}
+		}
+		b.mu.Unlock()
+		if out == nil {
+			return
+		}
+		b.drainFlushes.Add(1)
+		b.runBatch(modelID, out)
+	}
+}
+
+// push appends one item to a model's pending batch and reports whether the
+// batch must flush now (full, or delay-less config). Hot per query: the
+// buffer is preallocated, so the body is indexed writes only.
+//
+//lint:hotpath
+func (b *Batcher) push(mb *modelBatch, it *BatchItem) bool {
+	mb.buf[mb.n] = it
+	mb.n++
+	return mb.n >= b.cfg.MaxBatch || b.cfg.MaxDelay <= 0
+}
+
+// takeLocked removes and returns a model's pending batch, swapping a spare
+// buffer in so the executor owns the returned array exclusively. Bumping
+// gen invalidates any armed delay timer for the taken batch.
+//
+//lint:hotpath
+func (b *Batcher) takeLocked(mb *modelBatch) []*BatchItem {
+	out := mb.buf[:mb.n]
+	mb.buf = b.spareLocked()
+	mb.n = 0
+	mb.gen++
+	mb.timer.Stop()
+	return out
+}
+
+// runBatch executes one taken batch, fans the signal out to every blocked
+// caller, and recycles the batch array.
+func (b *Batcher) runBatch(modelID uint16, out []*BatchItem) {
+	b.flushes.Add(1)
+	for {
+		cur := b.maxBatch.Load()
+		if uint64(len(out)) <= cur || b.maxBatch.CompareAndSwap(cur, uint64(len(out))) {
+			break
+		}
+	}
+	b.exec(modelID, out)
+	for _, it := range out {
+		it.done <- struct{}{}
+	}
+	b.mu.Lock()
+	b.releaseLocked(out)
+	b.mu.Unlock()
+}
+
+// timerFire is each model timer's callback: flush the pending batch iff the
+// armed generation is still live (exactly-once per partial batch).
+func (b *Batcher) timerFire(modelID uint16) {
+	b.mu.Lock()
+	mb := b.queues[modelID]
+	if mb == nil || mb.n == 0 || mb.armed != mb.gen {
+		b.mu.Unlock()
+		return
+	}
+	out := b.takeLocked(mb)
+	b.mu.Unlock()
+	b.timerFlushes.Add(1)
+	b.runBatch(modelID, out)
+}
+
+// newModelBatchLocked is the cold per-model setup: buffer and flush timer
+// are created once and reused for the queue's lifetime.
+func (b *Batcher) newModelBatchLocked(modelID uint16) *modelBatch {
+	mb := &modelBatch{buf: make([]*BatchItem, b.cfg.MaxBatch)}
+	mb.timer = b.newTimer(func() { b.timerFire(modelID) })
+	b.queues[modelID] = mb
+	return mb
+}
+
+// getItemLocked pops a pooled item, or cold-allocates one.
+func (b *Batcher) getItemLocked() *BatchItem {
+	if it := b.free; it != nil {
+		b.free = it.next
+		it.next = nil
+		return it
+	}
+	return &BatchItem{done: make(chan struct{}, 1)}
+}
+
+// putItemLocked returns a completed item to the free list.
+func (b *Batcher) putItemLocked(it *BatchItem) {
+	it.Input = nil
+	it.Resp = Response{}
+	it.Err = nil
+	it.next = b.free
+	b.free = it
+}
+
+// spareLocked pops a recycled batch array, or cold-allocates one.
+func (b *Batcher) spareLocked() []*BatchItem {
+	if k := len(b.spares); k > 0 {
+		s := b.spares[k-1]
+		b.spares = b.spares[:k-1]
+		return s[:cap(s)]
+	}
+	return make([]*BatchItem, b.cfg.MaxBatch)
+}
+
+// releaseLocked recycles an executed batch array, dropping item references
+// so pooled items are not pinned by the array.
+func (b *Batcher) releaseLocked(out []*BatchItem) {
+	for i := range out {
+		out[i] = nil
+	}
+	b.spares = append(b.spares, out)
+}

@@ -1,0 +1,84 @@
+package photonic
+
+import "github.com/lightning-smartnic/lightning/internal/fixed"
+
+// Batched dot-product support: the serve path's cross-query batching
+// coalesces the photonic work of many queries into one pass through the
+// core. A batch pass streams a sequence of operand groups — each group is
+// one query's same-sign operand block — back to back, sharing a single
+// LUT-validity decision instead of re-checking per group. The analog steps
+// themselves are exactly the ones the groups would perform individually
+// (each group keeps its own tail step), so with an ideal channel the
+// partials are bit-identical to per-group DotPartialsInto calls, and with a
+// noise model the draws happen in the same stream order as serial calls
+// issued back to back.
+
+// LUTsValid reports whether every live lane's baked transmission LUT still
+// matches its modulators' current operating points — the decision the dot
+// entry points make once per call. Exported so batched callers can account
+// for it (one check covers an entire batch pass).
+func (c *Core) LUTsValid() bool { return c.lutsValid() }
+
+// DotPartialsBatchInto computes photonic partials for a sequence of operand
+// groups in one pass. Group g occupies a[bounds[g]:bounds[g+1]] and
+// b[bounds[g]:bounds[g+1]]; bounds must start at 0, end at len(a), and be
+// non-decreasing (empty groups are legal and contribute no partials). Each
+// group is streamed through the lanes independently — its final short step
+// handles its own tail, never mixing elements of two groups in one analog
+// step — and the per-step detector readings are written into dst in group
+// order, concatenated.
+//
+// The LUT-validity decision is made once for the whole call: this is the
+// batching amortization (N queries × 2 sign groups collapse 2N staleness
+// sweeps into 1). A fault injected mid-batch is seen at the next batch's
+// first step, the same granularity the serial path's once-per-dot check
+// gives the fault runner.
+//
+// dst is caller-owned storage, reallocated only when capacity is short;
+// with sufficient capacity the call performs zero heap allocations.
+//
+//lint:hotpath
+func (c *Core) DotPartialsBatchInto(dst []float64, a, b []fixed.Code, bounds []int) []float64 {
+	if len(a) != len(b) {
+		panic("photonic: dot product operand length mismatch")
+	}
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != len(a) {
+		panic("photonic: batch bounds must run from 0 to len(a)")
+	}
+	n := c.NumLanes()
+	total := 0
+	for g := 0; g+1 < len(bounds); g++ {
+		if bounds[g+1] < bounds[g] {
+			panic("photonic: batch bounds must be non-decreasing")
+		}
+		total += (bounds[g+1] - bounds[g] + n - 1) / n
+	}
+	dst = growPartials(dst, total)
+	fast := c.lutsValid()
+	i := 0
+	for g := 0; g+1 < len(bounds); g++ {
+		hi := bounds[g+1]
+		for off := bounds[g]; off < hi; off += n {
+			end := off + n
+			if end > hi {
+				end = hi
+			}
+			if fast {
+				dst[i] = c.stepFast(a[off:end], b[off:end])
+			} else {
+				dst[i] = c.Step(a[off:end], b[off:end])
+			}
+			i++
+		}
+	}
+	return dst
+}
+
+// BatchPartialsLen returns the number of partials one operand group of
+// length groupLen contributes to a batch pass: ⌈groupLen/NumLanes⌉. Callers
+// sizing per-query payload segments use it to stay in lockstep with
+// DotPartialsBatchInto's output layout.
+func (c *Core) BatchPartialsLen(groupLen int) int {
+	n := c.NumLanes()
+	return (groupLen + n - 1) / n
+}

@@ -41,6 +41,10 @@ type (
 	Message = nic.Message
 	// Response is a decoded inference response.
 	Response = nic.Response
+	// BatchConfig sets the cross-query batching flush knobs.
+	BatchConfig = nic.BatchConfig
+	// BatchStats is the batch-queue flush accounting snapshot.
+	BatchStats = nic.BatchStats
 	// Verdict classifies a parsed frame.
 	Verdict = nic.Verdict
 )
@@ -104,6 +108,16 @@ type Config struct {
 	// RelockBackoff is the delay before the second recovery attempt,
 	// doubling each attempt after (default 10ms).
 	RelockBackoff time.Duration
+	// Batch enables cross-query batching: concurrent queries for the same
+	// model coalesce into a single matrix pass per shard, amortizing
+	// preamble detection, LUT-validity checks, ADC readout, and per-layer
+	// reconfiguration + DRAM weight streaming across the batch. The zero
+	// value (MaxBatch <= 1) disables batching and reproduces the serial
+	// path bit-for-bit; with batching enabled and MaxDelay unset, the
+	// delay defaults to nic.DefaultBatchDelay. Batching pays off with the
+	// concurrent ingest of ServeUDPWorkers — a single-threaded caller only
+	// ever forms batches of one (served on the identical serial path).
+	Batch BatchConfig
 }
 
 // DefaultConfig matches the §6 prototype.
@@ -170,6 +184,10 @@ type NIC struct {
 	shards []*shard
 	// next drives round-robin query dispatch across shards.
 	next atomic.Uint64
+
+	// batcher coalesces concurrent same-model queries into matrix passes;
+	// nil when batching is disabled (the serial path).
+	batcher *nic.Batcher
 
 	// served counts completed inference responses.
 	served atomic.Uint64
@@ -246,6 +264,11 @@ type Metrics struct {
 	TapWriteErrors uint64
 	// Serve accounts per-reason losses at the UDP serve path's edges.
 	Serve ServeDrops
+	// Batch is the cross-query batch queue's flush accounting (all zero
+	// when batching is disabled).
+	Batch BatchStats
+	// BatchPending is the instantaneous queued-but-unflushed query count.
+	BatchPending int
 	// Shards holds one health snapshot per photonic-core shard, in shard
 	// order.
 	Shards []ShardHealth
@@ -290,6 +313,10 @@ func (n *NIC) Metrics() Metrics {
 			WriteErrors:    n.writeErrors.Load(),
 			DeadlineErrors: n.deadlineErrors.Load(),
 		},
+	}
+	if n.batcher != nil {
+		m.Batch = n.batcher.Stats()
+		m.BatchPending = n.batcher.Pending()
 	}
 	m.Shards = make([]ShardHealth, len(n.shards))
 	m.Health.Unavailable = n.unavailable.Load()
@@ -390,7 +417,10 @@ func New(cfg Config) (*NIC, error) {
 	if ttl <= 0 {
 		ttl = nic.DefaultReassemblyTTL
 	}
-	return &NIC{
+	if cfg.Batch.Enabled() && cfg.Batch.MaxDelay <= 0 {
+		cfg.Batch.MaxDelay = nic.DefaultBatchDelay
+	}
+	n := &NIC{
 		parser:          nic.NewParser(),
 		link:            nic.NewLink(),
 		reassembly:      nic.NewReassemblerTTL(256, ttl),
@@ -402,7 +432,11 @@ func New(cfg Config) (*NIC, error) {
 		probeTolerance:  cfg.ProbeTolerance,
 		relockAttempts:  cfg.RelockAttempts,
 		relockBackoff:   cfg.RelockBackoff,
-	}, nil
+	}
+	if cfg.Batch.Enabled() {
+		n.batcher = nic.NewBatcher(cfg.Batch, n.execBatch)
+	}
+	return n, nil
 }
 
 // Drain blocks until every in-flight HandleMessage call has left the
@@ -412,6 +446,12 @@ func New(cfg Config) (*NIC, error) {
 // cancellation before they return).
 func (n *NIC) Drain(ctx context.Context) error {
 	for {
+		if n.batcher != nil {
+			// Flush partial batches first: their queries sit inside
+			// blocked HandleMessage calls, so inflight cannot reach zero
+			// while a batch is parked behind its delay timer.
+			n.batcher.FlushAll()
+		}
 		if n.inflight.Load() == 0 && n.recovering.Load() == 0 {
 			return nil
 		}
@@ -474,18 +514,38 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	// health — a burst of malformed queries is not a hardware fault.
 	mc, known := n.store.Model(msg.ModelID)
 	clientErr := !known || len(input) != mc.Layers[0].In
-	var sh *shard
 	if clientErr {
 		// Any shard can issue the rejection, even a quarantined one: the
 		// loader validates before the datapath runs, keeping the canonical
 		// error text while a degraded NIC still answers client mistakes.
-		sh = n.shards[(n.next.Add(1)-1)%uint64(len(n.shards))]
-	} else if sh = n.pickShard(); sh == nil {
+		// Client mistakes never enter the batch queue either — they carry
+		// no analog work to amortize and must not delay a real batch.
+		sh := n.shards[(n.next.Add(1)-1)%uint64(len(n.shards))]
+		return n.serveSerial(sh, msg.ModelID, msg.RequestID, input, true)
+	}
+	if n.batcher != nil {
+		// Batched dispatch: park the query in its model's batch queue and
+		// block until the coalesced matrix pass (or a flush of one) has
+		// produced this request's verdict. Shard choice happens at flush
+		// time, so a shard quarantined while the batch was queuing is
+		// naturally routed around.
+		resp, err := n.batcher.Do(msg.ModelID, msg.RequestID, input)
+		return &resp, err
+	}
+	sh := n.pickShard()
+	if sh == nil {
 		n.unavailable.Add(1)
 		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, ErrUnavailable
 	}
+	return n.serveSerial(sh, msg.ModelID, msg.RequestID, input, false)
+}
+
+// serveSerial runs one query through sh's serial loader path — the
+// bit-reproducible single-query pipeline — with per-request health
+// accounting unless the query was pre-classified as a client mistake.
+func (n *NIC) serveSerial(sh *shard, modelID uint16, requestID uint32, input []Code, clientErr bool) (*Response, error) {
 	sh.mu.Lock()
-	res, err := sh.loader.Serve(msg.ModelID, input)
+	res, err := sh.loader.Serve(modelID, input)
 	if err == nil {
 		n.served.Add(1)
 		sh.totals.Add(res.Stats)
@@ -500,15 +560,15 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 		n.recordOutcome(sh, err != nil)
 	}
 	if err != nil {
-		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
+		return &Response{RequestID: requestID, ModelID: modelID, Err: true}, err
 	}
 	probs := make([]uint8, len(res.Probs))
 	for i, p := range res.Probs {
 		probs[i] = uint8(p)
 	}
 	return &Response{
-		RequestID: msg.RequestID,
-		ModelID:   msg.ModelID,
+		RequestID: requestID,
+		ModelID:   modelID,
 		Class:     uint16(res.Class),
 		Probs:     probs,
 	}, nil

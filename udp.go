@@ -125,6 +125,13 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 // of blocking the reader — overload degrades visibly rather than wedging
 // ingest. On cancellation the reader stops, queued jobs drain through the
 // workers, their responses flush, and the call returns nil.
+//
+// With Config.Batch enabled, workers are also what fills batches: each
+// worker's HandleMessage parks in the per-model batch queue until
+// MaxBatch callers have arrived or MaxDelay expires, so cross-query
+// batching only pays off when workers > 1 keeps several same-model
+// queries in flight at once. Size workers at or above Cores × MaxBatch to
+// let every shard flush full batches.
 func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers int) error {
 	if workers < 1 {
 		workers = 1
