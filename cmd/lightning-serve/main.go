@@ -14,10 +14,42 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	lightning "github.com/lightning-smartnic/lightning"
 )
+
+// parseAdmitWeights parses "id:weight" pairs into per-model admission
+// policies (the same syntax lightning-loadgen's -admit-weights takes).
+func parseAdmitWeights(s string) (map[uint16]lightning.AdmitPolicy, error) {
+	out := map[uint16]lightning.AdmitPolicy{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("-admit-weights entry %q: want id:weight", part)
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("-admit-weights entry %q: model id: %w", part, err)
+		}
+		w, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("-admit-weights entry %q: weight: %w", part, err)
+		}
+		out[uint16(id)] = lightning.AdmitPolicy{Weight: w}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-admit-weights %q: no entries", s)
+	}
+	return out, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":4055", "UDP listen address")
@@ -36,7 +68,18 @@ func main() {
 	healthWindow := flag.Int("health-window", 0, "per-shard health window in served queries (0 = default)")
 	healthThreshold := flag.Float64("health-threshold", 0, "windowed error rate that quarantines a shard (0 = default)")
 	probeEvery := flag.Int("probe-every", 0, "known-answer probe cadence in served queries per shard (0 disables)")
+	admitQueue := flag.Int("admit-queue", 0, "per-model admission queue bound (0 = default workers*4)")
+	admitBudget := flag.Duration("admit-budget", 0, "per-request latency budget; queued requests past it are shed instead of served (0 disables)")
+	admitWeights := flag.String("admit-weights", "", "per-model service weights as id:weight pairs, comma-separated (empty = equal)")
 	flag.Parse()
+
+	admission := lightning.AdmissionConfig{MaxQueue: *admitQueue, Budget: *admitBudget}
+	if *admitWeights != "" {
+		var err error
+		if admission.Models, err = parseAdmitWeights(*admitWeights); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var train *lightning.Dataset
 	var hidden []int
@@ -98,6 +141,7 @@ func main() {
 		HealthWindow:  *healthWindow, HealthThreshold: *healthThreshold,
 		ProbeEvery: *probeEvery,
 		Batch:      lightning.BatchConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
+		Admission:  admission,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -126,10 +170,32 @@ func main() {
 			shards += fmt.Sprintf("%d:%s", i, h.State)
 		}
 		line := fmt.Sprintf(
-			"served %d | shards [%s] | pending reassembly %d (drops %d, expired %d) | queue-full %d, decode-err %d, write-err %d | tx %d frames / %d bytes",
+			"served %d | shards [%s] | pending reassembly %d (drops %d, expired %d) | queue-full %d, shed %d, decode-err %d, write-err %d | tx %d frames / %d bytes",
 			m.Served, shards, m.PendingReassembly, m.ReassemblyDrops, m.ReassemblyExpired,
-			m.Serve.QueueFull, m.Serve.DecodeErrors, m.Serve.WriteErrors,
+			m.Serve.QueueFull, m.Serve.Shed, m.Serve.DecodeErrors, m.Serve.WriteErrors,
 			m.TxFrames, m.TxBytes)
+		if len(m.Serve.AdmissionDrops) > 0 {
+			ids := make([]int, 0, len(m.Serve.AdmissionDrops))
+			for id := range m.Serve.AdmissionDrops {
+				ids = append(ids, int(id))
+			}
+			sort.Ints(ids)
+			drops := ""
+			for i, id := range ids {
+				if i > 0 {
+					drops += " "
+				}
+				drops += fmt.Sprintf("%d:%d", id, m.Serve.AdmissionDrops[uint16(id)])
+			}
+			line += fmt.Sprintf(" | admission drops [%s]", drops)
+		}
+		if len(m.Serve.QueueDepth) > 0 {
+			depth := 0
+			for _, d := range m.Serve.QueueDepth {
+				depth += d
+			}
+			line += fmt.Sprintf(" | admitted backlog %d", depth)
+		}
 		if h := m.Health; h.Quarantines > 0 || h.Unavailable > 0 {
 			line += fmt.Sprintf(" | health: quarantines %d, readmissions %d, relocks %d/%d fail, probes %d/%d fail, unavailable %d",
 				h.Quarantines, h.Readmissions, h.Relocks, h.RelockFailures,

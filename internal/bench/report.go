@@ -194,8 +194,10 @@ func (rep *Report) AttachBaseline(path string) error {
 }
 
 // WriteJSON emits the report as indented JSON.
-func (rep *Report) WriteJSON(w io.Writer) error {
+func (rep *Report) WriteJSON(w io.Writer) error { return writeIndentedJSON(w, rep) }
+
+func writeIndentedJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(v)
 }

@@ -45,6 +45,10 @@ type StubConn struct {
 	// WriteDelay stalls each WriteTo, holding the calling worker busy. Set
 	// before serving.
 	WriteDelay time.Duration
+	// ReadErr, when set, is returned by ReadFrom once the queue is empty —
+	// a fatal (non-timeout) socket failure under a serve loop, where the
+	// default empty-queue behaviour is a timeout. Set before serving.
+	ReadErr error
 }
 
 // NewStubConn builds a stub conn preloaded with the given datagrams.
@@ -67,11 +71,17 @@ func (c *StubConn) Enqueue(d []byte) {
 func (c *StubConn) Writes() uint64 { return c.writes.Load() }
 
 // ReadFrom implements net.PacketConn: it pops the next queued datagram, or
-// times out (after a short sleep, so cancelled serve loops spin gently).
+// times out (after a short sleep, so cancelled serve loops spin gently) —
+// unless ReadErr is set, in which case the empty queue surfaces that fatal
+// error instead.
 func (c *StubConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	c.mu.Lock()
 	if len(c.queue) == 0 {
+		err := c.ReadErr
 		c.mu.Unlock()
+		if err != nil {
+			return 0, nil, err
+		}
 		time.Sleep(time.Millisecond)
 		return 0, nil, ErrTimeout
 	}

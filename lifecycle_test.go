@@ -10,34 +10,14 @@ import (
 	"time"
 
 	"github.com/lightning-smartnic/lightning/internal/fault"
-	"github.com/lightning-smartnic/lightning/internal/fixed"
 	"github.com/lightning-smartnic/lightning/internal/nic"
-	"github.com/lightning-smartnic/lightning/internal/nn"
 )
 
-// halvesModel hand-builds a cheap two-class classifier over `width` inputs
-// (each output neuron sums one half of the input) so lifecycle tests get a
-// servable model without paying for training. Correct reassembly is visible
-// in the answer: whichever half is bright wins.
-func halvesModel(width int) *TrainedModel {
-	mk := func(lo, hi int) []fixed.Signed {
-		row := make([]fixed.Signed, width)
-		for i := lo; i < hi; i++ {
-			row[i] = fixed.Signed{Mag: 255}
-		}
-		return row
-	}
-	return &TrainedModel{
-		Sizes: []int{width, 2},
-		Layers: []nn.QuantizedLayer{{
-			Weights: [][]fixed.Signed{mk(0, width/2), mk(width/2, width)},
-			Bias:    []fixed.Acc{0, 0},
-			Shift:   10,
-			Final:   true,
-			WScale:  fixed.Scale{Max: 1},
-		}},
-	}
-}
+// halvesModel is the lifecycle tests' name for the exported synthetic
+// two-class model (each output neuron sums one half of the input), kept as a
+// local alias so the many call sites read unchanged. Correct reassembly is
+// visible in the answer: whichever half is bright wins.
+func halvesModel(width int) *TrainedModel { return SyntheticHalvesModel(width) }
 
 // The stub and lossy PacketConn wrappers these tests once defined inline
 // now live in internal/fault (StubConn, DropFirst), shared with the chaos
@@ -286,6 +266,152 @@ func TestServeUDPWorkersQueueFullBackpressure(t *testing.T) {
 	}
 	if m.Served+m.Serve.QueueFull != sent {
 		t.Errorf("Served (%d) + QueueFull (%d) != sent (%d)", m.Served, m.Serve.QueueFull, sent)
+	}
+}
+
+// TestServeUDPWorkersQueueFullFragmentedExactlyOnce: under batching, a
+// fragmented query that completes reassembly but is rejected at admission
+// (its model's queue at bound behind a stalled worker) must be accounted
+// exactly once in Metrics.Serve.QueueFull — not once per fragment — and must
+// leave no reassembly slot pinned: reassembly runs on the reader BEFORE
+// admission, so the table entry is already released when the drop happens.
+func TestServeUDPWorkersQueueFullFragmentedExactlyOnce(t *testing.T) {
+	const width = 2000 // fragments into 2 datagrams at MaxFragPayload
+	n, _ := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 15,
+		Batch: BatchConfig{MaxBatch: 2, MaxDelay: time.Millisecond},
+	})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, width)
+	const sent = 32
+	pc := fault.NewStubConn()
+	pc.WriteDelay = 2 * time.Millisecond
+	for i := 0; i < sent; i++ {
+		msgs, err := nic.Fragment(uint32(i+1), 4, payload, nic.MaxFragPayload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) < 2 {
+			t.Fatalf("query did not fragment: %d messages", len(msgs))
+		}
+		for _, m := range msgs {
+			raw, err := m.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc.Enqueue(raw)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDPWorkers(ctx, pc, 1); err != nil {
+		t.Fatalf("ServeUDPWorkers: %v", err)
+	}
+	m := n.Metrics()
+	if m.Serve.QueueFull == 0 {
+		t.Error("flood of fragmented queries against a stalled worker produced no admission drops")
+	}
+	// Exactly-once accounting: every sent QUERY is either served or dropped
+	// at admission; fragments never count individually.
+	if m.Served+m.Serve.QueueFull != sent {
+		t.Errorf("Served (%d) + QueueFull (%d) != queries sent (%d)", m.Served, m.Serve.QueueFull, sent)
+	}
+	if got := m.Serve.AdmissionDrops[4]; got != m.Serve.QueueFull {
+		t.Errorf("per-model AdmissionDrops[4] = %d, want the whole aggregate %d", got, m.Serve.QueueFull)
+	}
+	// No reassembly slot pinned, and none expired: completion released every
+	// entry before the admission verdict.
+	if m.PendingReassembly != 0 || m.ReassemblyExpired != 0 || m.ReassemblyDrops != 0 {
+		t.Errorf("reassembly table not clean after admission drops: pending=%d expired=%d drops=%d",
+			m.PendingReassembly, m.ReassemblyExpired, m.ReassemblyDrops)
+	}
+}
+
+// TestServeUDPWorkersDeadlineShed: with a latency budget so tight every
+// queued request has blown it by dequeue time, the workers must shed —
+// counted in Metrics.Serve.Shed, never served, books still balancing —
+// instead of serving answers the client has already timed out on.
+func TestServeUDPWorkersDeadlineShed(t *testing.T) {
+	const width = 64
+	n, _ := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 16,
+		Admission: AdmissionConfig{Budget: time.Nanosecond},
+	})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, width)
+	const sent = 24
+	pc := fault.NewStubConn()
+	for i := 0; i < sent; i++ {
+		pc.Enqueue(encodeQuery(t, uint32(i+1), 4, payload))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDPWorkers(ctx, pc, 2); err != nil {
+		t.Fatalf("ServeUDPWorkers: %v", err)
+	}
+	m := n.Metrics()
+	if m.Serve.Shed == 0 {
+		t.Error("nanosecond budget shed nothing")
+	}
+	if m.Served+m.Serve.QueueFull+m.Serve.Shed != sent {
+		t.Errorf("Served (%d) + QueueFull (%d) + Shed (%d) != sent (%d)",
+			m.Served, m.Serve.QueueFull, m.Serve.Shed, sent)
+	}
+	if got := pc.Writes(); got != m.Served {
+		t.Errorf("responses flushed = %d, served = %d (shed requests must not answer)", got, m.Served)
+	}
+}
+
+// TestServeUDPWorkersWeightedAdmission drives two models through one serve
+// loop with 3:1 weights and a shared backlog, and checks both that the
+// priority model gets the earlier service slots and that per-model
+// admission bounds hold independently.
+func TestServeUDPWorkersWeightedAdmission(t *testing.T) {
+	const width = 64
+	n, _ := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 17,
+		Admission: AdmissionConfig{
+			MaxQueue: 64,
+			Models: map[uint16]AdmitPolicy{
+				4: {Weight: 3},
+				5: {Weight: 1, MaxQueue: 4},
+			},
+		},
+	})
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(5, "halves2", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, width)
+	pc := fault.NewStubConn()
+	// Interleave arrivals so both queues are backlogged from the start.
+	const perModel = 24
+	for i := 0; i < perModel; i++ {
+		pc.Enqueue(encodeQuery(t, uint32(1000+i), 4, payload))
+		pc.Enqueue(encodeQuery(t, uint32(2000+i), 5, payload))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDPWorkers(ctx, pc, 1); err != nil {
+		t.Fatalf("ServeUDPWorkers: %v", err)
+	}
+	m := n.Metrics()
+	// Model 5's tight bound (4) must have dropped most of its arrivals
+	// while model 4's roomy queue admitted everything.
+	if m.Serve.AdmissionDrops[4] != 0 {
+		t.Errorf("model 4 dropped %d with a 64-deep queue", m.Serve.AdmissionDrops[4])
+	}
+	if m.Serve.AdmissionDrops[5] == 0 {
+		t.Error("model 5's 4-deep bound dropped nothing under a 24-query backlog")
+	}
+	if m.Served+m.Serve.QueueFull != 2*perModel {
+		t.Errorf("Served (%d) + QueueFull (%d) != sent (%d)", m.Served, m.Serve.QueueFull, 2*perModel)
 	}
 }
 

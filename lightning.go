@@ -45,6 +45,11 @@ type (
 	BatchConfig = nic.BatchConfig
 	// BatchStats is the batch-queue flush accounting snapshot.
 	BatchStats = nic.BatchStats
+	// AdmissionConfig sets per-model admission control, weighted priority
+	// and deadline-shedding policy for ServeUDPWorkers.
+	AdmissionConfig = nic.AdmissionConfig
+	// AdmitPolicy is one model's admission-control override.
+	AdmitPolicy = nic.AdmitPolicy
 	// Verdict classifies a parsed frame.
 	Verdict = nic.Verdict
 )
@@ -118,6 +123,15 @@ type Config struct {
 	// concurrent ingest of ServeUDPWorkers — a single-threaded caller only
 	// ever forms batches of one (served on the identical serial path).
 	Batch BatchConfig
+	// Admission configures the admission stage ahead of ServeUDPWorkers'
+	// worker pool: per-model bounded queues (arrivals beyond the bound are
+	// dropped at ingress and counted), weighted priority dequeue across
+	// models, and per-model latency budgets past which still-queued
+	// requests are shed instead of served late. The zero value keeps every
+	// model on one default queue bound (workers*4) with equal weight and no
+	// shedding — observably equivalent to the historical single job
+	// channel.
+	Admission AdmissionConfig
 }
 
 // DefaultConfig matches the §6 prototype.
@@ -215,6 +229,18 @@ type NIC struct {
 	decodeErrors   atomic.Uint64
 	writeErrors    atomic.Uint64
 	deadlineErrors atomic.Uint64
+	// shedDrops counts dequeued requests dropped because their latency
+	// budget had already elapsed in queue (deadline-aware shedding).
+	shedDrops atomic.Uint64
+
+	// admission is the resolved Config.Admission policy; admit holds the
+	// live Admitter while ServeUDPWorkers runs (queue-depth gauges).
+	admission nic.AdmissionConfig
+	admit     atomic.Pointer[nic.Admitter]
+	// admitMu guards admitDropsByModel, the per-model partition of the
+	// QueueFull aggregate.
+	admitMu           sync.Mutex
+	admitDropsByModel map[uint16]uint64
 
 	// tapWriteErrors counts pcap capture failures; the tap is best-effort
 	// but an incomplete capture must be visible to whoever is debugging
@@ -279,9 +305,21 @@ type Metrics struct {
 // ServeDrops counts datagrams and responses lost at the edges of the serve
 // path, per reason — the overload and fault visibility a deployment needs.
 type ServeDrops struct {
-	// QueueFull counts decoded queries dropped because the worker-pool
-	// job queue was full (backpressure under overload).
+	// QueueFull counts decoded queries dropped at admission because their
+	// model's queue was at its bound (backpressure under overload).
+	// AdmissionDrops partitions the same events per model.
 	QueueFull uint64
+	// Shed counts admitted requests dropped at dequeue because their
+	// latency budget (AdmitPolicy.Budget) had already elapsed while they
+	// sat queued — served-late answers the clients would have discarded.
+	Shed uint64
+	// AdmissionDrops is the per-model breakdown of QueueFull, keyed by
+	// wire model ID (nil until a drop happens).
+	AdmissionDrops map[uint16]uint64
+	// QueueDepth is the instantaneous per-model admission queue depth
+	// while a ServeUDPWorkers loop is (or was last) attached (nil
+	// otherwise) — the gauge that shows where backlog is building.
+	QueueDepth map[uint16]int
 	// DecodeErrors counts datagrams that failed wire decode.
 	DecodeErrors uint64
 	// WriteErrors counts response datagrams whose socket write failed.
@@ -309,10 +347,22 @@ func (n *NIC) Metrics() Metrics {
 		TapWriteErrors:    n.tapWriteErrors.Load(),
 		Serve: ServeDrops{
 			QueueFull:      n.queueFullDrops.Load(),
+			Shed:           n.shedDrops.Load(),
 			DecodeErrors:   n.decodeErrors.Load(),
 			WriteErrors:    n.writeErrors.Load(),
 			DeadlineErrors: n.deadlineErrors.Load(),
 		},
+	}
+	n.admitMu.Lock()
+	if len(n.admitDropsByModel) > 0 {
+		m.Serve.AdmissionDrops = make(map[uint16]uint64, len(n.admitDropsByModel))
+		for id, c := range n.admitDropsByModel {
+			m.Serve.AdmissionDrops[id] = c
+		}
+	}
+	n.admitMu.Unlock()
+	if ad := n.admit.Load(); ad != nil {
+		m.Serve.QueueDepth = ad.Depths()
 	}
 	if n.batcher != nil {
 		m.Batch = n.batcher.Stats()
@@ -426,6 +476,7 @@ func New(cfg Config) (*NIC, error) {
 		reassembly:      nic.NewReassemblerTTL(256, ttl),
 		store:           store,
 		shards:          shards,
+		admission:       cfg.Admission,
 		healthWindow:    cfg.HealthWindow,
 		healthThreshold: cfg.HealthThreshold,
 		probeEvery:      cfg.ProbeEvery,
@@ -494,8 +545,6 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	if msg.IsResponse() {
 		return nil, fmt.Errorf("lightning: received a response message")
 	}
-	n.inflight.Add(1)
-	defer n.inflight.Add(-1)
 	query, modelID, done, err := n.reassembly.Offer(msg)
 	if err != nil {
 		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, err
@@ -503,16 +552,24 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	if !done {
 		return nil, nil
 	}
+	return n.serveAssembled(msg.RequestID, modelID, query)
+}
+
+// serveAssembled runs one fully-reassembled query through the datapath —
+// the entry point ServeUDPWorkers' workers use after reader-side reassembly
+// and admission, and the tail of HandleMessage.
+func (n *NIC) serveAssembled(requestID uint32, modelID uint16, query []byte) (*Response, error) {
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	input := make([]Code, len(query))
 	for i, b := range query {
 		input[i] = Code(b)
 	}
-	msg = &Message{Flags: msg.Flags, RequestID: msg.RequestID, ModelID: modelID, Payload: query}
 	// Classify client mistakes (unknown model, wrong input width) before
 	// dispatch: they are rejected by the loader's validation without ever
 	// touching analog hardware, so they must not count against any shard's
 	// health — a burst of malformed queries is not a hardware fault.
-	mc, known := n.store.Model(msg.ModelID)
+	mc, known := n.store.Model(modelID)
 	clientErr := !known || len(input) != mc.Layers[0].In
 	if clientErr {
 		// Any shard can issue the rejection, even a quarantined one: the
@@ -521,7 +578,7 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 		// Client mistakes never enter the batch queue either — they carry
 		// no analog work to amortize and must not delay a real batch.
 		sh := n.shards[(n.next.Add(1)-1)%uint64(len(n.shards))]
-		return n.serveSerial(sh, msg.ModelID, msg.RequestID, input, true)
+		return n.serveSerial(sh, modelID, requestID, input, true)
 	}
 	if n.batcher != nil {
 		// Batched dispatch: park the query in its model's batch queue and
@@ -529,15 +586,27 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 		// produced this request's verdict. Shard choice happens at flush
 		// time, so a shard quarantined while the batch was queuing is
 		// naturally routed around.
-		resp, err := n.batcher.Do(msg.ModelID, msg.RequestID, input)
+		resp, err := n.batcher.Do(modelID, requestID, input)
 		return &resp, err
 	}
 	sh := n.pickShard()
 	if sh == nil {
 		n.unavailable.Add(1)
-		return &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, ErrUnavailable
+		return &Response{RequestID: requestID, ModelID: modelID, Err: true}, ErrUnavailable
 	}
-	return n.serveSerial(sh, msg.ModelID, msg.RequestID, input, false)
+	return n.serveSerial(sh, modelID, requestID, input, false)
+}
+
+// countAdmissionDrop accounts one admission-bound ingress drop, in the
+// QueueFull aggregate and the per-model breakdown.
+func (n *NIC) countAdmissionDrop(modelID uint16) {
+	n.queueFullDrops.Add(1)
+	n.admitMu.Lock()
+	if n.admitDropsByModel == nil {
+		n.admitDropsByModel = make(map[uint16]uint64)
+	}
+	n.admitDropsByModel[modelID]++
+	n.admitMu.Unlock()
 }
 
 // serveSerial runs one query through sh's serial loader path — the

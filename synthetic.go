@@ -1,0 +1,33 @@
+package lightning
+
+import (
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+)
+
+// SyntheticHalvesModel hand-builds a two-class classifier over `width`
+// inputs without any training: output neuron 0 sums the first half of the
+// query, neuron 1 the second, so whichever half is brighter wins. Load
+// harnesses (cmd/lightning-loadgen -self) and lifecycle tests use it to get
+// a servable model at zero training cost whose answers still prove
+// end-to-end correctness — a response carrying the wrong class means the
+// query bytes were mangled somewhere in flight.
+func SyntheticHalvesModel(width int) *TrainedModel {
+	mk := func(lo, hi int) []fixed.Signed {
+		row := make([]fixed.Signed, width)
+		for i := lo; i < hi; i++ {
+			row[i] = fixed.Signed{Mag: 255}
+		}
+		return row
+	}
+	return &TrainedModel{
+		Sizes: []int{width, 2},
+		Layers: []nn.QuantizedLayer{{
+			Weights: [][]fixed.Signed{mk(0, width/2), mk(width/2, width)},
+			Bias:    []fixed.Acc{0, 0},
+			Shift:   10,
+			Final:   true,
+			WScale:  fixed.Scale{Max: 1},
+		}},
+	}
+}

@@ -40,11 +40,23 @@ var txBufPool = sync.Pool{
 // write, and returns the buffer to the pool. The write callback must not
 // retain the slice.
 func encodeTo(msg *Message, write func(out []byte) error) error {
+	return encodeToPooled(msg.AppendEncode, write)
+}
+
+// encodeToPooled is encodeTo with the encoder injected — the seam the
+// pool-pollution regression test drives with a failing encoder. On encode
+// failure the ORIGINAL pooled buffer is returned to the pool: adopting the
+// failure result instead would replace the retained-capacity buffer with
+// whatever the encoder handed back (possibly nil), silently bleeding the
+// capacity the pool exists to keep.
+func encodeToPooled(encode func(dst []byte) ([]byte, error), write func(out []byte) error) error {
 	bp := txBufPool.Get().(*[]byte)
-	out, err := msg.AppendEncode((*bp)[:0])
-	if err == nil {
-		err = write(out)
+	out, err := encode((*bp)[:0])
+	if err != nil {
+		txBufPool.Put(bp)
+		return err
 	}
+	err = write(out)
 	*bp = out[:0]
 	txBufPool.Put(bp)
 	return err
@@ -89,6 +101,12 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 					continue
 				}
 			}
+			// Fatal read error: drain before surfacing it, exactly as the
+			// cancellation path does. Queries parked in a per-model batch
+			// queue behind a MaxDelay timer (a concurrent HandleMessage
+			// caller's) would otherwise be abandoned mid-flight instead of
+			// flushing; the read error, not any drain error, is the story.
+			_ = n.Drain(context.Background())
 			return err
 		}
 		var msg Message
@@ -110,44 +128,75 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 	}
 }
 
-// ServeUDPWorkers is ServeUDP with a worker pool: one reader goroutine
-// feeds decoded messages to workers that run the datapath and write
-// responses. Each query dispatches round-robin to one of the NIC's core
-// shards (Config.Cores); a shard serves one query at a time — the hardware
-// pipeline serializes at its photonic core — so with Cores=1 inference
-// itself serializes while packet decode, reassembly bookkeeping and
-// response I/O still overlap across workers, and with Cores=N up to N
-// queries run through the photonics truly in parallel. Sizing workers at or
-// above Cores keeps every shard busy.
+// wireJob is one fully-reassembled query admitted toward the worker pool.
+type wireJob struct {
+	requestID uint32
+	modelID   uint16
+	query     []byte
+	addr      net.Addr
+}
+
+// ServeUDPWorkers is ServeUDP with a worker pool behind an admission stage:
+// one reader goroutine decodes datagrams and reassembles fragmented queries,
+// complete queries pass per-model admission control into weighted priority
+// queues (Config.Admission), and workers dequeue across those queues to run
+// the datapath and write responses. Each query dispatches round-robin to one
+// of the NIC's core shards (Config.Cores); a shard serves one query at a
+// time — the hardware pipeline serializes at its photonic core — so with
+// Cores=1 inference itself serializes while packet decode, reassembly
+// bookkeeping and response I/O still overlap across workers, and with
+// Cores=N up to N queries run through the photonics truly in parallel.
+// Sizing workers at or above Cores keeps every shard busy.
 //
-// The job queue is bounded: when the datapath cannot keep up, freshly
-// decoded queries are dropped and counted (Metrics.Serve.QueueFull) instead
-// of blocking the reader — overload degrades visibly rather than wedging
-// ingest. On cancellation the reader stops, queued jobs drain through the
-// workers, their responses flush, and the call returns nil.
+// Overload degrades visibly rather than wedging ingest, along three edges:
+//
+//   - Admission: each model's queue is bounded (AdmitPolicy.MaxQueue,
+//     defaulting to workers*4). A query arriving at a full queue is dropped
+//     at ingress and counted — per model in Metrics.Serve.AdmissionDrops,
+//     and in the Metrics.Serve.QueueFull aggregate — without blocking the
+//     reader or displacing other models' queries. Because reassembly now
+//     happens before admission, a dropped fragmented query pins no
+//     reassembly slot: its table entry was already released on completion.
+//   - Priority: workers dequeue by smooth weighted round-robin over the
+//     per-model queues (AdmitPolicy.Weight), so under contention each model
+//     gets a weight-proportional share of the shards.
+//   - Shedding: a dequeued query whose latency budget (AdmitPolicy.Budget)
+//     already elapsed while queued is shed — counted in Metrics.Serve.Shed,
+//     never served — because a response the client has timed out on is pure
+//     waste heat. The client's retry, not a late answer, is the recovery.
+//
+// On cancellation the reader stops, admitted jobs drain through the workers
+// (still subject to shedding), their responses flush, and the call returns
+// nil.
 //
 // With Config.Batch enabled, workers are also what fills batches: each
-// worker's HandleMessage parks in the per-model batch queue until
-// MaxBatch callers have arrived or MaxDelay expires, so cross-query
-// batching only pays off when workers > 1 keeps several same-model
-// queries in flight at once. Size workers at or above Cores × MaxBatch to
-// let every shard flush full batches.
+// worker's query parks in the per-model batch queue until MaxBatch callers
+// have arrived or MaxDelay expires, so cross-query batching only pays off
+// when workers > 1 keeps several same-model queries in flight at once. Size
+// workers at or above Cores × MaxBatch to let every shard flush full
+// batches.
 func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
-	type job struct {
-		msg  Message
-		addr net.Addr
-	}
-	jobs := make(chan job, workers*4)
+	admit := nic.NewAdmitter(n.admission, workers*4)
+	n.admit.Store(admit)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				resp, _ := n.HandleMessage(&j.msg)
+			for {
+				aj, ok := admit.Pop()
+				if !ok {
+					return
+				}
+				if aj.Expired(time.Now()) {
+					n.shedDrops.Add(1)
+					continue
+				}
+				j := aj.Payload.(wireJob)
+				resp, _ := n.serveAssembled(j.requestID, j.modelID, j.query)
 				if resp == nil {
 					continue
 				}
@@ -160,10 +209,10 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 			}
 		}()
 	}
-	// Drain on exit: close the queue, let workers finish every accepted
+	// Drain on exit: close admission, let workers finish every admitted
 	// job and flush its response, then wait out any datapath stragglers.
 	defer func() {
-		close(jobs)
+		admit.Close()
 		wg.Wait()
 		_ = n.Drain(context.Background())
 	}()
@@ -201,15 +250,46 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 			n.decodeErrors.Add(1)
 			continue
 		}
-		// Copy the payload out of the shared read buffer before handing
-		// the message to a worker.
-		msg.Payload = append([]byte(nil), msg.Payload...)
-		select {
-		case jobs <- job{msg: msg, addr: addr}:
-		default:
-			// Queue full: the shards are saturated. Drop at ingress and
-			// account it rather than blocking the reader.
-			n.queueFullDrops.Add(1)
+		if msg.IsResponse() {
+			// A stray response datagram carries no work; the serial path's
+			// HandleMessage rejects it the same way.
+			continue
+		}
+		// Reassemble on the reader so admission judges complete queries:
+		// fragment bookkeeping is cheap, and a query rejected at admission
+		// must not leave a partial pinned in the reassembly table.
+		query, modelID, done, rerr := n.reassembly.Offer(&msg)
+		if rerr != nil {
+			// Malformed or inconsistent fragments get the same Err-flagged
+			// response HandleMessage would return.
+			resp := &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}
+			_ = encodeTo(resp.ToMessage(), func(out []byte) error {
+				if _, werr := pc.WriteTo(out, addr); werr != nil {
+					n.writeErrors.Add(1)
+				}
+				return nil
+			})
+			continue
+		}
+		if !done {
+			continue
+		}
+		if msg.Flags&nic.FlagFragment == 0 {
+			// An unfragmented query aliases the shared read buffer; copy it
+			// out before queueing. Reassembled queries already own their
+			// backing array.
+			query = append([]byte(nil), query...)
+		}
+		if !admit.Offer(modelID, wireJob{
+			requestID: msg.RequestID,
+			modelID:   modelID,
+			query:     query,
+			addr:      addr,
+		}) {
+			// Admission reject: the model's queue is at bound — the shards
+			// cannot keep up with this model's arrival rate. Drop at
+			// ingress and account it, per model and in aggregate.
+			n.countAdmissionDrop(modelID)
 		}
 	}
 }
@@ -234,8 +314,17 @@ func (e *ServerError) Error() string {
 	return fmt.Sprintf("lightning: server error for request %d (model %d)", e.RequestID, e.ModelID)
 }
 
-// Client queries a Lightning NIC over UDP.
+// Client queries a Lightning NIC over UDP. A Client is safe for concurrent
+// use: Infer serializes internally, so parallel callers take turns on the
+// single socket (request IDs stay unique and nobody steals another caller's
+// reply). Callers who want true round-trip parallelism open one Client per
+// goroutine — or use an open-loop driver like cmd/lightning-loadgen.
 type Client struct {
+	// mu serializes Infer end to end: the request-ID draw, the fragmented
+	// send, and the reply reads on the shared conn are one critical
+	// section. Without it two goroutines interleave Reads and consume each
+	// other's responses.
+	mu     sync.Mutex
 	conn   net.Conn
 	nextID uint32
 	// Timeout bounds each round-trip attempt.
@@ -269,6 +358,8 @@ func (c *Client) Close() error { return c.conn.Close() }
 // callers can branch on errors.As without inspecting the response; server
 // errors are not retried.
 func (c *Client) Infer(modelID uint16, payload []Code) (*Response, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	raw := make([]byte, len(payload))
 	for i, p := range payload {
 		raw[i] = byte(p)
