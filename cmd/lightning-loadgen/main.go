@@ -78,8 +78,9 @@ func main() {
 	if *self {
 		report.Workers = *workers
 	}
+	ctx := context.Background()
 	for _, r := range rates {
-		point, err := runPoint(pointConfig{
+		point, err := runPoint(ctx, pointConfig{
 			addr: *addr, models: models, rate: r, dist: *dist,
 			duration: *duration, conns: *conns, timeout: *timeout,
 			seed: *seed, reportEvery: *reportEvery,
@@ -151,14 +152,15 @@ type pointConfig struct {
 
 // runPoint measures one offered-load level. In -self mode each point gets a
 // fresh server, so server counters are per-point and the sweep's levels
-// never contaminate each other.
-func runPoint(pc pointConfig) (bench.LoadPoint, error) {
+// never contaminate each other. The context bounds the in-process server's
+// lifetime (the open-loop driver itself is duration-bound).
+func runPoint(ctx context.Context, pc pointConfig) (bench.LoadPoint, error) {
 	addr := pc.addr
 	var nic *lightning.NIC
 	var stop func() error
 	if pc.self {
 		var err error
-		nic, addr, stop, err = startSelfServer(pc)
+		nic, addr, stop, err = startSelfServer(ctx, pc)
 		if err != nil {
 			return bench.LoadPoint{}, err
 		}
@@ -216,8 +218,10 @@ func runPoint(pc pointConfig) (bench.LoadPoint, error) {
 }
 
 // startSelfServer builds an in-process server with one synthetic halves
-// model per mix entry and serves it on an ephemeral loopback port.
-func startSelfServer(pc pointConfig) (*lightning.NIC, string, func() error, error) {
+// model per mix entry and serves it on an ephemeral loopback port. The serve
+// loop's context derives from the caller's, so the caller's cancellation
+// reaches the server even before stop is called.
+func startSelfServer(ctx context.Context, pc pointConfig) (*lightning.NIC, string, func() error, error) {
 	n, err := lightning.New(lightning.Config{
 		Lanes: 2, Noiseless: true, Seed: pc.selfSeed, Cores: pc.cores,
 		Batch:     lightning.BatchConfig{MaxBatch: pc.maxBatch, MaxDelay: pc.maxDelay},
@@ -236,12 +240,13 @@ func startSelfServer(pc pointConfig) (*lightning.NIC, string, func() error, erro
 	if err != nil {
 		return nil, "", nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	sctx, cancel := context.WithCancel(ctx)
 	served := make(chan error, 1)
-	go func() { served <- n.ServeUDPWorkers(ctx, conn, pc.workers) }()
+	go func() { served <- n.ServeUDPWorkers(sctx, conn, pc.workers) }()
 	stop := func() error {
 		cancel()
 		err := <-served
+		_ = n.Close()
 		if cerr := conn.Close(); err == nil {
 			err = cerr
 		}

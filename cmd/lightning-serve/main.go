@@ -71,6 +71,7 @@ func main() {
 	admitQueue := flag.Int("admit-queue", 0, "per-model admission queue bound (0 = default workers*4)")
 	admitBudget := flag.Duration("admit-budget", 0, "per-request latency budget; queued requests past it are shed instead of served (0 disables)")
 	admitWeights := flag.String("admit-weights", "", "per-model service weights as id:weight pairs, comma-separated (empty = equal)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "bound on the shutdown drain of in-flight work (0 = default 5s)")
 	flag.Parse()
 
 	admission := lightning.AdmissionConfig{MaxQueue: *admitQueue, Budget: *admitBudget}
@@ -139,9 +140,10 @@ func main() {
 		Lanes: 2, Noiseless: *noiseless, Seed: *seed, Cores: *cores,
 		ReassemblyTTL: *reassemblyTTL,
 		HealthWindow:  *healthWindow, HealthThreshold: *healthThreshold,
-		ProbeEvery: *probeEvery,
-		Batch:      lightning.BatchConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
-		Admission:  admission,
+		ProbeEvery:   *probeEvery,
+		Batch:        lightning.BatchConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
+		Admission:    admission,
+		DrainTimeout: *drainTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -232,8 +234,10 @@ func main() {
 	if serveErr != nil {
 		log.Fatal(serveErr)
 	}
-	// The serve loops drain accepted work before returning; a bounded
-	// final Drain guards any stragglers from other entry points.
+	// The serve loops drain accepted work before returning; Close retires
+	// any recovery loop still backing off, and a bounded final Drain guards
+	// stragglers from other entry points.
+	_ = nic.Close()
 	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := nic.Drain(drainCtx); err != nil {

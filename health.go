@@ -61,6 +61,7 @@ const (
 	defaultProbeTolerance  = 3.0
 	defaultRelockAttempts  = 3
 	defaultRelockBackoff   = 10 * time.Millisecond
+	defaultDrainTimeout    = 5 * time.Second
 )
 
 // probePairs are the known-answer operands a probe drives through every
@@ -242,6 +243,13 @@ func (n *NIC) trip(sh *shard) {
 	sh.hmu.Lock()
 	sh.resetWindowLocked()
 	sh.hmu.Unlock()
+	select {
+	case <-n.closing:
+		// A closed NIC spawns no new recovery; the shard stays quarantined,
+		// which is what a NIC being torn down wants.
+		return
+	default:
+	}
 	n.recovering.Add(1)
 	go n.recoverShard(sh)
 }
@@ -257,7 +265,16 @@ func (n *NIC) recoverShard(sh *shard) {
 	backoff := n.relockBackoff
 	for attempt := 0; attempt < n.relockAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			// Backoff races shutdown: a Close mid-sleep must not leave Drain
+			// waiting out a relock schedule (which can run to hours on a dead
+			// lane).
+			t := time.NewTimer(backoff)
+			select {
+			case <-n.closing:
+				t.Stop()
+				return
+			case <-t.C:
+			}
 			backoff *= 2
 		}
 		sh.mu.Lock()

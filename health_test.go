@@ -1,6 +1,7 @@
 package lightning
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -247,5 +248,47 @@ func TestShardStateString(t *testing.T) {
 	}
 	if got := ShardState(9).String(); got != "ShardState(9)" {
 		t.Errorf("unknown state prints %q", got)
+	}
+}
+
+// TestCloseUnblocksRecoveryBackoff is the regression test for the untracked
+// recovery-backoff hang the goleak/ctxflow sweep surfaced: recoverShard used
+// to park in a bare time.Sleep between relock attempts, so a NIC being torn
+// down while a dead lane backed off on a long schedule (RelockBackoff can be
+// configured to minutes) left Drain waiting out the whole schedule. Close
+// must retire the loop immediately: pre-fix this test times out its Drain
+// context after two seconds instead of returning at once.
+func TestCloseUnblocksRecoveryBackoff(t *testing.T) {
+	n, err := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 11, Cores: 1,
+		RelockAttempts: 5, RelockBackoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectFault(0, fault.DeadLane{Lane: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Trip the breaker: attempt 0 relocks (and fails — the lane is dead)
+	// immediately, then the loop parks in its one-hour backoff.
+	if errs := n.ProbeShards(); errs[0] == nil {
+		t.Fatal("dead-lane shard passed its probe")
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := n.Drain(ctx); err != nil {
+		t.Fatalf("Drain after Close = %v; recovery still parked in backoff", err)
+	}
+	// Idempotent, and a re-trip on a closed NIC must not respawn recovery.
+	if err := n.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	n.shards[0].state.Store(int32(ShardHealthy))
+	n.trip(n.shards[0])
+	if got := n.recovering.Load(); got != 0 {
+		t.Fatalf("trip after Close spawned recovery (recovering = %d)", got)
 	}
 }

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotBox extends hotalloc's zero-allocation contract to the heap-allocation
+// class the allocating-builtin check cannot see: values escaping into
+// interfaces. Inside a //lint:hotpath function it flags
+//
+//   - implicit interface conversions — a concrete value passed to an
+//     interface-typed parameter or assigned to an interface-typed variable
+//     boxes on the heap (ints, structs, even small strings once they escape);
+//   - variadic interface calls — `...interface{}` / `...any` arguments
+//     (fmt.Sprintf being the classic) allocate the backing slice on top of
+//     boxing every element;
+//   - method-value captures — `x.Method` referenced outside call position
+//     allocates a closure binding the receiver.
+//
+// The AllocsPerRun guard tests catch these at runtime for the paths the
+// benches cover; hotbox catches them at the call site for every path, before
+// a profile has to. Arguments of panic(...) are exempt: a guard like
+// panic(fmt.Sprintf(...)) is a terminal path that runs at most once per
+// crash, so its boxing can never be a steady-state allocation.
+func HotBox() *Analyzer {
+	return &Analyzer{
+		Name: "hotbox",
+		Doc:  "flags interface boxing, variadic ...interface{} calls and method-value captures in //lint:hotpath functions",
+		Run:  runHotBox,
+	}
+}
+
+func runHotBox(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotPathMarker(fn.Doc) {
+				continue
+			}
+			diags = append(diags, hotBoxFunc(p, fn)...)
+		}
+	}
+	return diags
+}
+
+func hotBoxFunc(p *Package, fn *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	// callFuns marks selector/ident nodes in call position, so a method
+	// used as a call does not read as a method-value capture. inPanic marks
+	// every node inside a panic(...) argument — the terminal-path exemption.
+	callFuns := make(map[ast.Expr]bool)
+	inPanic := make(map[ast.Node]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callFuns[ast.Unparen(call.Fun)] = true
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if m != nil {
+							inPanic[m] = true
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if inPanic[n] {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			diags = append(diags, hotBoxCall(p, fn, n)...)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				lhsTV, ok := p.Info.Types[n.Lhs[i]]
+				if !ok {
+					if id, isIdent := n.Lhs[i].(*ast.Ident); isIdent {
+						if obj := p.Info.Defs[id]; obj != nil {
+							lhsTV = types.TypeAndValue{Type: obj.Type()}
+							ok = true
+						}
+					}
+				}
+				if ok && boxes(p, lhsTV.Type, rhs) {
+					diags = append(diags, diag(p, rhs, "hotbox",
+						"assignment boxes %s into interface %s in //lint:hotpath function %s; keep the concrete type on the hot path",
+						typeOf(p, rhs), lhsTV.Type, fn.Name.Name))
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[n] {
+				return true
+			}
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				diags = append(diags, diag(p, n, "hotbox",
+					"method value %s.%s captures its receiver in a closure (allocates) in //lint:hotpath function %s; call it directly or hoist the capture out of the hot path",
+					typeOf(p, n.X), n.Sel.Name, fn.Name.Name))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// hotBoxCall flags the boxing a single call performs: concrete arguments
+// landing in interface parameters, and the slice a variadic interface
+// parameter allocates.
+func hotBoxCall(p *Package, fn *ast.FuncDecl, call *ast.CallExpr) []Diagnostic {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			// Terminal path: boxing the panic value happens at most once per
+			// crash, never per query.
+			return nil
+		}
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		// A builtin (hotalloc's beat) or a type conversion. An explicit
+		// conversion to an interface type still boxes: T(x) where T is an
+		// interface.
+		if tvConv, ok := p.Info.Types[call.Fun]; ok && tvConv.IsType() && len(call.Args) == 1 {
+			if types.IsInterface(tvConv.Type) && boxes(p, tvConv.Type, call.Args[0]) {
+				return []Diagnostic{diag(p, call, "hotbox",
+					"conversion boxes %s into interface %s in //lint:hotpath function %s",
+					typeOf(p, call.Args[0]), tvConv.Type, fn.Name.Name)}
+			}
+		}
+		return nil
+	}
+	var diags []Diagnostic
+	params := sig.Params()
+	if sig.Variadic() && params.Len() > 0 {
+		last := params.At(params.Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok && types.IsInterface(slice.Elem()) {
+			if fixedArgs := params.Len() - 1; len(call.Args) > fixedArgs && !call.Ellipsis.IsValid() {
+				diags = append(diags, diag(p, call, "hotbox",
+					"variadic ...%s call allocates its argument slice and boxes each element in //lint:hotpath function %s; format off the hot path",
+					slice.Elem(), fn.Name.Name))
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(p, paramType, arg) {
+			diags = append(diags, diag(p, arg, "hotbox",
+				"argument boxes %s into interface %s in //lint:hotpath function %s; accept the concrete type or move the call off the hot path",
+				typeOf(p, arg), paramType, fn.Name.Name))
+		}
+	}
+	return diags
+}
+
+// boxes reports whether passing arg where target is expected performs an
+// interface conversion of a concrete value: target is an interface, arg's
+// static type is not (and is not untyped nil).
+func boxes(p *Package, target types.Type, arg ast.Expr) bool {
+	if target == nil || !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, isBasic := tv.Type.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// typeOf renders an expression's static type for diagnostics.
+func typeOf(p *Package, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}

@@ -76,7 +76,16 @@ func TestAnalyzerFixtures(t *testing.T) {
 			cname := filepath.Base(cdir)
 			t.Run(name+"/"+cname, func(t *testing.T) {
 				pkgs := loadFixture(t, cdir)
-				diags := lint.Run(pkgs, []*lint.Analyzer{analyzer})
+				set := []*lint.Analyzer{analyzer}
+				if name == "stalesuppress" {
+					// Staleness is a property of a whole run: an annotation
+					// naming analyzer X is only provably dead when X runs.
+					// This fixture alone runs under the full suite, so its
+					// golden also pins the live diagnostics the stale
+					// annotations fail to silence.
+					set = lint.Analyzers()
+				}
+				diags := lint.Run(pkgs, set)
 				got := formatDiags(diags)
 				wantPath := filepath.Join(cdir, "want.txt")
 				if *update {
@@ -148,8 +157,9 @@ func TestTreeClean(t *testing.T) {
 }
 
 // TestSuppression pins the annotation escape hatches: a bare annotation
-// (no reason) suppresses nothing, and a reasoned one silences exactly its
-// analyzer.
+// (no reason) suppresses nothing, a reasoned one silences exactly its
+// analyzer, and — with stalesuppress in the suite — the bare annotation and
+// the one naming the wrong analyzer are themselves reported as dead.
 func TestSuppression(t *testing.T) {
 	dir := t.TempDir()
 	src := `//lintpath github.com/lightning-smartnic/lightning/internal/sim
@@ -178,7 +188,18 @@ func wrongAnalyzer() time.Time {
 	}
 	pkgs := loadFixture(t, dir)
 	diags := lint.Run(pkgs, lint.Analyzers())
-	if len(diags) != 2 {
-		t.Fatalf("want 2 diagnostics (bare annotation and wrong analyzer do not suppress), got %d:\n%s", len(diags), formatDiags(diags))
+	// Four survivors: the two clockinject diagnostics the bare and
+	// wrong-analyzer annotations fail to silence, plus the stalesuppress
+	// reports on those two dead annotations. The reasoned one suppresses its
+	// diagnostic and, being live, draws no stale report.
+	if len(diags) != 4 {
+		t.Fatalf("want 4 diagnostics (2 unsuppressed clockinject + 2 stale annotations), got %d:\n%s", len(diags), formatDiags(diags))
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["clockinject"] != 2 || byAnalyzer["stalesuppress"] != 2 {
+		t.Fatalf("diagnostic split = %v, want 2 clockinject + 2 stalesuppress", byAnalyzer)
 	}
 }

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -199,7 +201,17 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !fileIncluded(f) {
+			// A //go:build constraint excludes the file from the default
+			// build (GOOS/GOARCH tags, or sentinel tags like "ignore");
+			// type-checking it alongside the built files would see duplicate
+			// declarations that `go build` never compiles together.
+			continue
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: every Go file in %s is excluded by build constraints", abs)
 	}
 	path := l.logicalPath(abs, files)
 
@@ -221,6 +233,35 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	p := &Package{Path: path, Dir: abs, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.byDir[abs] = p
 	return p, nil
+}
+
+// fileIncluded reports whether a parsed file survives its //go:build
+// constraint (if any) under the default build configuration: the running
+// GOOS/GOARCH plus the gc toolchain tag. A file whose constraint evaluates
+// false (a different platform, or a sentinel tag like "ignore") is excluded
+// exactly as `go build` would exclude it. Only constraint comments above the
+// package clause count, per the build-constraint placement rule.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparseable constraint excludes the file, matching the
+				// toolchain's behaviour for malformed //go:build lines.
+				return false
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+	}
+	return true
 }
 
 // logicalPath derives a package's import path for analyzer scoping: a

@@ -1,0 +1,124 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/lint"
+)
+
+// writeFiles materializes a fixture package in a temp dir.
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderSkipsBuildTagExcludedFiles pins the build-constraint rule: a file
+// excluded by its //go:build line (here the sentinel "ignore" tag and an
+// impossible platform pair) must not be type-checked into the package — its
+// duplicate declaration would otherwise fail the load for code `go build`
+// compiles cleanly.
+func TestLoaderSkipsBuildTagExcludedFiles(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"pkg.go": "package fixture\n\nfunc Answer() int { return 42 }\n",
+		"tool.go": "//go:build ignore\n\npackage main\n\n" +
+			"func Answer() string { return \"colliding duplicate\" }\n\nfunc main() {}\n",
+		"other_platform.go": "//go:build linux && windows\n\npackage fixture\n\n" +
+			"func Answer() float64 { return 4.2 }\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load with build-tag-excluded files: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("want 1 package with 1 surviving file, got %d packages", len(pkgs))
+	}
+	if obj := pkgs[0].Types.Scope().Lookup("Answer"); obj == nil ||
+		obj.Type().String() != "func() int" {
+		t.Fatalf("surviving Answer should be the untagged func() int, got %v", obj)
+	}
+}
+
+// TestLoaderAllFilesExcluded pins the degenerate case: a package whose every
+// file is constrained away is an error, not a panic or an empty package.
+func TestLoaderAllFilesExcluded(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"only.go": "//go:build ignore\n\npackage fixture\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(dir); err == nil ||
+		!strings.Contains(err.Error(), "excluded by build constraints") {
+		t.Fatalf("want build-constraint exclusion error, got %v", err)
+	}
+}
+
+// TestLoaderIgnoresExternalTestPackage pins that _test.go files — including
+// an external foo_test package whose declarations would collide with the
+// package under test — never reach the type checker.
+func TestLoaderIgnoresExternalTestPackage(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"pkg.go": "package fixture\n\nconst Version = 1\n",
+		"pkg_test.go": "package fixture_test\n\n" +
+			"const Version = \"external test package duplicate\"\n",
+		"internal_test.go": "package fixture\n\n" +
+			"var Version = make(chan int) // would redeclare if loaded\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load alongside test files: %v", err)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("want only pkg.go loaded, got %d files", len(pkgs[0].Files))
+	}
+}
+
+// TestLoaderReportsTypeErrors pins that a package that fails type-checking
+// surfaces as a loader error naming the package — never a panic, and never a
+// silently half-analyzed package.
+func TestLoaderReportsTypeErrors(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"broken.go": "package fixture\n\nfunc Broken() int { return undefinedSymbol }\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want type-checking error, got %v", err)
+	}
+}
+
+// TestLoaderReportsParseErrors pins the same contract one stage earlier: a
+// file that does not parse is a loader error, not a panic.
+func TestLoaderReportsParseErrors(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"garbage.go": "package fixture\n\nfunc { this is not Go\n",
+	})
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(dir); err == nil {
+		t.Fatal("want parse error, got nil")
+	}
+}

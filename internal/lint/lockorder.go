@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder guards against deadlock by lock-order inversion and against
+// accidental lock copies — the two mutex hazard classes the sharded serve
+// path (per-shard mu + hmu, the admission mutex, the batcher's queue locks)
+// makes live. It builds the package's lock-acquisition graph with the same
+// call-graph machinery as atomiccounter: a node is a mutex identity (a named
+// struct's mutex field, or a package-level mutex var), and an edge A→B means
+// some path acquires B while holding A — directly in one function, or
+// through a call to an in-package function that (transitively) acquires B.
+// A cycle in that graph is a potential deadlock: two goroutines entering the
+// cycle from different edges wait on each other forever. Separately, any
+// assignment or range clause that copies a value containing a sync.Mutex,
+// sync.RWMutex or sync.WaitGroup is flagged: the copy's lock state diverges
+// from the original's, which silently unguards whatever the original
+// protected.
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "flags cycles in the lock-acquisition graph and copies of sync.Mutex/RWMutex/WaitGroup values",
+		Match: func(pkgPath string) bool {
+			return pkgPath == ModulePath ||
+				underInternal(pkgPath, ModulePath) ||
+				strings.HasPrefix(pkgPath, ModulePath+"/cmd/")
+		},
+		Run: runLockOrder,
+	}
+}
+
+// lockNode is one mutex identity in the acquisition graph.
+type lockNode struct {
+	// owner is the named type whose field the mutex is, or nil for a
+	// package-level mutex var.
+	owner *types.TypeName
+	// name is the field or var name.
+	name string
+}
+
+func (ln lockNode) String() string {
+	if ln.owner != nil {
+		return ln.owner.Name() + "." + ln.name
+	}
+	return ln.name
+}
+
+// lockEdge is one observed "acquired B while holding A", with the position
+// of the acquisition that created it.
+type lockEdge struct {
+	from, to lockNode
+	pos      token.Position
+	node     ast.Node
+}
+
+func runLockOrder(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, lockCopyDiags(p)...)
+	diags = append(diags, lockCycleDiags(p)...)
+	return diags
+}
+
+// lockCycleDiags builds the acquisition graph and reports every edge that
+// participates in a cycle.
+func lockCycleDiags(p *Package) []Diagnostic {
+	funcs := collectFuncs(p)
+	byObj := make(map[types.Object]*ast.FuncDecl)
+	for _, fd := range funcs {
+		if obj := p.Info.Defs[fd.Name]; obj != nil {
+			byObj[obj] = fd
+		}
+	}
+
+	// Pass 1, per function in source order: the locks it acquires directly,
+	// and the calls it makes with the held-lock set at each call site. The
+	// held set is tracked linearly (an Unlock releases, a deferred Unlock
+	// holds to function end), which is exact for the straight-line
+	// lock/unlock bracketing the codebase uses.
+	type callSite struct {
+		callee types.Object
+		held   []lockNode
+	}
+	directAcquires := make(map[*ast.FuncDecl][]lockNode)
+	callSites := make(map[*ast.FuncDecl][]callSite)
+	var edges []lockEdge
+	for _, fd := range funcs {
+		if fd.Body == nil {
+			continue
+		}
+		var held []lockNode
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if def, ok := n.(*ast.DeferStmt); ok {
+				// A deferred Unlock holds the lock for the rest of the
+				// function; don't treat it as a release at this point.
+				if _, isUnlock := mutexCallNode(p, def.Call, "Unlock", "RUnlock"); isUnlock {
+					return false
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if node, ok := mutexCallNode(p, call, "Lock", "RLock"); ok {
+				for _, h := range held {
+					edges = append(edges, lockEdge{from: h, to: node, pos: p.Fset.Position(call.Pos()), node: call})
+				}
+				held = append(held, node)
+				directAcquires[fd] = append(directAcquires[fd], node)
+				return true
+			}
+			if node, ok := mutexCallNode(p, call, "Unlock", "RUnlock"); ok {
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == node {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+				return true
+			}
+			if callee := calleeObj(p, call); callee != nil {
+				if _, inPkg := byObj[callee]; inPkg && len(held) > 0 {
+					callSites[fd] = append(callSites[fd], callSite{callee: callee, held: append([]lockNode(nil), held...)})
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: transitive acquire sets via fixpoint over the call graph.
+	trans := make(map[*ast.FuncDecl]map[lockNode]bool)
+	for _, fd := range funcs {
+		set := make(map[lockNode]bool)
+		for _, n := range directAcquires[fd] {
+			set[n] = true
+		}
+		trans[fd] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range funcs {
+			for _, cs := range callSites[fd] {
+				callee := byObj[cs.callee]
+				for n := range trans[callee] {
+					if !trans[fd][n] {
+						trans[fd][n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Interprocedural edges: holding H across a call whose callee
+	// transitively acquires B yields H→B.
+	for _, fd := range funcs {
+		for _, cs := range callSites[fd] {
+			callee := byObj[cs.callee]
+			pos := p.Fset.Position(fd.Pos())
+			for _, h := range cs.held {
+				for n := range trans[callee] {
+					edges = append(edges, lockEdge{from: h, to: n, pos: pos, node: fd})
+				}
+			}
+		}
+	}
+
+	// Cycle report: an edge A→B is part of a cycle iff A is reachable from
+	// B. Each (A, B) pair reports once, at the earliest position observed.
+	adj := make(map[lockNode]map[lockNode]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[lockNode]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to lockNode) bool {
+		seen := map[lockNode]bool{from: true}
+		queue := []lockNode{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n == to {
+				return true
+			}
+			for m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		return false
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i].pos, edges[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	reported := make(map[string]bool)
+	var diags []Diagnostic
+	for _, e := range edges {
+		key := e.from.String() + "→" + e.to.String()
+		if reported[key] || !reaches(e.to, e.from) {
+			continue
+		}
+		reported[key] = true
+		if e.from == e.to {
+			diags = append(diags, diag(p, e.node, "lockorder",
+				"lock %s acquired while already held (self-deadlock, or two instances locked in arbitrary order); release first or impose a total order", e.from))
+			continue
+		}
+		diags = append(diags, diag(p, e.node, "lockorder",
+			"lock %s acquired while holding %s closes a lock-order cycle (%s is also acquired while %s is held); pick one order", e.to, e.from, e.from, e.to))
+	}
+	return diags
+}
+
+// mutexCallNode resolves a call X.<sel>() (sel in names) on a sync.Mutex or
+// sync.RWMutex to its graph node: a named struct's mutex field, or a
+// package-level mutex var.
+func mutexCallNode(p *Package, call *ast.CallExpr, names ...string) (lockNode, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNode{}, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return lockNode{}, false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return lockNode{}, false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if owner, field, ok := fieldOwner(p, x); ok {
+			return lockNode{owner: owner, name: field}, true
+		}
+	case *ast.Ident:
+		if obj := p.Info.Uses[x]; obj != nil && obj.Parent() == p.Types.Scope() {
+			return lockNode{name: obj.Name()}, true
+		}
+	}
+	return lockNode{}, false
+}
+
+// lockCopyDiags flags assignments and range clauses that copy a value
+// containing a lock.
+func lockCopyDiags(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if !copiesLockValue(p, rhs) {
+						continue
+					}
+					tv := p.Info.Types[rhs]
+					diags = append(diags, diag(p, n, "lockorder",
+						"assignment copies %s, which contains %s; the copy's lock state diverges from the original — use a pointer", tv.Type, lockKindIn(tv.Type)))
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				tv, ok := p.Info.Types[n.Value]
+				if !ok {
+					// A `for _, v := range xs` value lands in Defs, not
+					// Types: the ident is a definition, not an expression.
+					if id, isIdent := n.Value.(*ast.Ident); isIdent {
+						if obj := p.Info.Defs[id]; obj != nil {
+							tv = types.TypeAndValue{Type: obj.Type()}
+							ok = true
+						}
+					}
+				}
+				if !ok {
+					return true
+				}
+				if kind := lockKindIn(tv.Type); kind != "" && !isPointerOrRef(tv.Type) {
+					diags = append(diags, diag(p, n.Value, "lockorder",
+						"range value copies %s, which contains %s; iterate by index or over pointers", tv.Type, kind))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// copiesLockValue reports whether evaluating rhs for assignment copies a
+// lock-containing value: the static type contains a lock, the expression is
+// not a pointer/reference, and it is not a fresh composite literal or a
+// call result (creation and returns are the callee's concern).
+func copiesLockValue(p *Package, rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.UnaryExpr, *ast.FuncLit:
+		return false
+	}
+	tv, ok := p.Info.Types[rhs]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return lockKindIn(tv.Type) != "" && !isPointerOrRef(tv.Type)
+}
+
+// lockKindIn names the first sync lock type found in t (descending into
+// struct fields and arrays), or "" when t carries none.
+func lockKindIn(t types.Type) string {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type) string
+	walk = func(t types.Type) string {
+		if t == nil || seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+				switch named.Obj().Name() {
+				case "Mutex", "RWMutex", "WaitGroup":
+					return "sync." + named.Obj().Name()
+				}
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if k := walk(u.Field(i).Type()); k != "" {
+					return k
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return ""
+	}
+	return walk(t)
+}
+
+// isPointerOrRef reports whether t is a pointer, map, chan, slice or
+// interface — types whose assignment copies a reference, not the lock.
+func isPointerOrRef(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Slice, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/nic
+
+// Package fixture exercises ctxflow's clean cases: the received context is
+// threaded straight through, derived via context.With*, visibly detached
+// with WithoutCancel, or owned by a nested literal's own parameter.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func serve(ctx context.Context, addr string) error {
+	_ = ctx
+	_ = addr
+	return nil
+}
+
+// Threaded hands the received ctx straight through.
+func Threaded(ctx context.Context, addr string) error {
+	return serve(ctx, addr)
+}
+
+// Bounded passes a derivation of the received ctx.
+func Bounded(ctx context.Context, addr string) error {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return serve(dctx, addr)
+}
+
+// Drained sheds cancellation visibly: WithoutCancel keeps the received
+// ctx's values, and the nested derivation stays derived.
+func Drained(ctx context.Context, addr string) error {
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), time.Second)
+	defer cancel()
+	return serve(dctx, addr)
+}
+
+// Spawn's literal threads its own context parameter — the literal's caller
+// owns that chain, not Spawn.
+func Spawn(ctx context.Context, addr string, run func(func(context.Context) error)) {
+	_ = ctx
+	run(func(ictx context.Context) error {
+		return serve(ictx, addr)
+	})
+}

@@ -1,0 +1,34 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/nic
+
+// Package fixture exercises ctxflow's flagged cases: detached context roots
+// outside main, and a context-receiving function handing its callee a
+// different, non-derived context.
+package fixture
+
+import "context"
+
+// base stands in for a stashed package-level context; reading it severs the
+// caller's cancellation chain.
+var base context.Context
+
+func serve(ctx context.Context, addr string) error {
+	_ = ctx
+	_ = addr
+	return nil
+}
+
+// Detached roots a fresh context outside main.
+func Detached(addr string) error {
+	return serve(context.Background(), addr)
+}
+
+// Stale roots a TODO outside main.
+func Stale(addr string) error {
+	return serve(context.TODO(), addr)
+}
+
+// Severed receives a context but hands its callee a different one.
+func Severed(ctx context.Context, addr string) error {
+	local := base
+	return serve(local, addr)
+}

@@ -1,0 +1,63 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/nic
+
+// Package fixture exercises goleak's clean cases: each spawn carries one of
+// the provable shutdown paths — a channel whose close is the signal, a
+// select on ctx.Done, armed WaitGroup tracking, or a context handed to the
+// callee whose contract bounds the goroutine.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// worker drains jobs until the channel closes — the close is the shutdown
+// signal.
+func worker(jobs chan int, counts []int) {
+	for j := range jobs {
+		counts[j%len(counts)]++
+	}
+}
+
+// StartWorker's spawn is bounded by the jobs channel's close.
+func StartWorker(jobs chan int, counts []int) {
+	go worker(jobs, counts)
+}
+
+// StartSelect selects on ctx.Done for cancellation.
+func StartSelect(ctx context.Context, ticks chan int, counts []int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-ticks:
+				counts[t%len(counts)]++
+			}
+		}
+	}()
+}
+
+// StartTracked arms the Add/Done pair, so a visible Wait fences the
+// goroutine.
+func StartTracked(wg *sync.WaitGroup, counts []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range counts {
+			counts[i]++
+		}
+	}()
+}
+
+// serve blocks until ctx is cancelled.
+func serve(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// StartServe hands the context to the callee; the callee's contract bounds
+// the goroutine.
+func StartServe(ctx context.Context, done chan error) {
+	go func() { done <- serve(ctx) }()
+}

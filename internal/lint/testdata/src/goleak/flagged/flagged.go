@@ -1,0 +1,46 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/nic
+
+// Package fixture exercises goleak's flagged cases: goroutines spawned with
+// no provable shutdown path, the Done side of WaitGroup tracking without the
+// Add side, and spawns the analyzer cannot resolve.
+package fixture
+
+import "sync"
+
+// pump spins forever with no cancellation signal in sight.
+func pump(counts []int) {
+	for i := 0; ; i++ {
+		counts[i%len(counts)]++
+	}
+}
+
+// StartPump leaks: the named worker has no shutdown path.
+func StartPump(counts []int) {
+	go pump(counts)
+}
+
+// StartInline leaks the same way through a literal.
+func StartInline(counts []int) {
+	go func() {
+		for i := 0; ; i++ {
+			counts[i%len(counts)]++
+		}
+	}()
+}
+
+// StartUnfenced calls Done in the body but never arms Add at the spawn
+// site, so no Wait can fence the goroutine.
+func StartUnfenced(wg *sync.WaitGroup, counts []int) {
+	go func() {
+		defer wg.Done()
+		for i := range counts {
+			counts[i]++
+		}
+	}()
+}
+
+// StartOpaque spawns a function value the analyzer cannot resolve in this
+// package; the shutdown path is unprovable.
+func StartOpaque(fn func()) {
+	go fn()
+}

@@ -1,0 +1,45 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/photonic
+
+// Package fixture exercises hotbox's clean cases: a hot-path function that
+// keeps every value concrete, calls methods directly instead of capturing
+// them, forwards an existing interface slice with ..., and formats only on
+// the terminal panic path.
+package fixture
+
+import "fmt"
+
+// Readout pairs a code with its lane.
+type Readout struct {
+	Lane int
+	Code uint8
+}
+
+// Describe renders the readout off the hot path.
+func (r Readout) Describe() string {
+	return fmt.Sprintf("lane %d code %d", r.Lane, r.Code)
+}
+
+// Step stays concrete end to end.
+//
+//lint:hotpath
+func Step(r Readout, codes []uint8) int {
+	total := 0
+	for _, c := range codes {
+		total += int(c) * r.Lane
+	}
+	if total < 0 {
+		// Terminal guard: panic's boxing runs at most once per crash.
+		panic(fmt.Sprintf("negative total for lane %d", r.Lane))
+	}
+	// A direct method call is not a method-value capture.
+	_ = r.Describe()
+	return total
+}
+
+// Passthrough forwards an existing interface slice with ...; no re-boxing
+// and no fresh argument slice.
+//
+//lint:hotpath
+func Passthrough(vals []interface{}, sink func(...interface{})) {
+	sink(vals...)
+}

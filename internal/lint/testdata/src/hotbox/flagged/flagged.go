@@ -1,0 +1,46 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/photonic
+
+// Package fixture exercises hotbox's flagged cases inside a //lint:hotpath
+// function: a variadic ...interface{} call, implicit boxing into an
+// interface parameter and an interface variable, an explicit interface
+// conversion, and a method-value capture.
+package fixture
+
+import "fmt"
+
+// Readout pairs a code with its lane.
+type Readout struct {
+	Lane int
+	Code uint8
+}
+
+// Describe renders the readout; capturing it as a method value allocates.
+func (r Readout) Describe() string {
+	return fmt.Sprintf("lane %d code %d", r.Lane, r.Code)
+}
+
+// trace is a logging seam with an interface parameter.
+func trace(event string, detail interface{}) {
+	_ = event
+	_ = detail
+}
+
+// Step boxes on every edge hotbox guards.
+//
+//lint:hotpath
+func Step(r Readout) string {
+	label := fmt.Sprintf("lane %d", r.Lane)
+	trace("step", r.Lane)
+	var last interface{}
+	last = r.Code
+	_ = last
+	boxed := any(r.Code)
+	_ = boxed
+	render := r.Describe
+	return label + render()
+}
+
+// Cold does the same things without the marker and is not hotbox's concern.
+func Cold(r Readout) string {
+	return fmt.Sprintf("lane %d", r.Lane)
+}

@@ -1,0 +1,13 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/sim
+
+// Package fixture exercises stalesuppress's clean case: a reasoned
+// annotation that still silences a live diagnostic is not stale.
+package fixture
+
+import "time"
+
+// Stamp reads the wall clock deliberately; the reasoned allow is live.
+func Stamp() time.Time {
+	//lint:allow clockinject fixture needs one real wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,36 @@
+//lintpath github.com/lightning-smartnic/lightning/internal/sim
+
+// Package fixture exercises stalesuppress's flagged cases: escape hatches
+// that silence nothing. Bare annotations never suppress, a typo'd analyzer
+// name suppresses nothing (and would outlive a rename silently), and a
+// reasoned annotation whose violation has since been fixed is dead weight.
+// The live clockinject diagnostics under the non-suppressing annotations
+// surface too: this fixture runs under the full suite, because staleness is
+// only decidable relative to a whole run.
+package fixture
+
+import "time"
+
+// bare annotations suppress nothing by design.
+func bare() time.Time {
+	//lint:allow clockinject
+	return time.Now()
+}
+
+// misnamed names no analyzer in the suite.
+func misnamed() time.Time {
+	//lint:allow clockwork simulated time is fine here
+	return time.Now()
+}
+
+// healed fixed the violation its annotation excused; the hatch is now dead.
+func healed(now func() time.Time) time.Time {
+	//lint:allow clockinject fixture exercising staleness
+	return now()
+}
+
+// dropped carries a bare drop with no reason.
+func dropped() {
+	//lint:drop
+	_ = time.Unix(0, 0)
+}

@@ -554,3 +554,49 @@ func TestDrain(t *testing.T) {
 		t.Fatalf("drain after release: %v", err)
 	}
 }
+
+// TestServeUDPShutdownBoundedByDrainTimeout is the regression test for the
+// unbounded shutdown drain the ctxflow sweep surfaced: the serve loops'
+// cancellation paths drained under a bare context.Background(), so a wedged
+// NIC — here a dead lane whose recovery loop is parked in a one-hour relock
+// backoff — hung a cancelled ServeUDP forever. The drain now detaches from
+// the cancelled serve context via context.WithoutCancel but is re-bounded by
+// Config.DrainTimeout: cancellation must surface within that budget, carrying
+// the drain's deadline error as the evidence the bound fired.
+func TestServeUDPShutdownBoundedByDrainTimeout(t *testing.T) {
+	n, err := New(Config{
+		Lanes: 2, Noiseless: true, Seed: 12, Cores: 1,
+		RelockAttempts: 5, RelockBackoff: time.Hour,
+		DrainTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectFault(0, fault.DeadLane{Lane: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if errs := n.ProbeShards(); errs[0] == nil {
+		t.Fatal("dead-lane shard passed its probe")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	served := make(chan error, 1)
+	go func() { served <- n.ServeUDP(ctx, fault.NewStubConn()) }()
+	select {
+	case err := <-served:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("ServeUDP = %v, want the bounded drain's DeadlineExceeded", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled ServeUDP still blocked after 3s; shutdown drain is unbounded")
+	}
+	// Close retires the parked recovery loop, after which a normal Drain
+	// finishes immediately — the clean-shutdown sequence cmd/lightning-serve
+	// runs.
+	_ = n.Close()
+	dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer dcancel()
+	if err := n.Drain(dctx); err != nil {
+		t.Fatalf("Drain after Close = %v", err)
+	}
+}

@@ -132,6 +132,12 @@ type Config struct {
 	// shedding — observably equivalent to the historical single job
 	// channel.
 	Admission AdmissionConfig
+	// DrainTimeout bounds the serve loops' shutdown drain: when a cancelled
+	// ServeUDP/ServeUDPWorkers (or a fatal read error) waits out in-flight
+	// work, a wedged datapath or a recovery loop mid-backoff cannot hang the
+	// shutdown past this budget (default 5s). An explicit Drain call is
+	// bounded by its own context instead.
+	DrainTimeout time.Duration
 }
 
 // DefaultConfig matches the §6 prototype.
@@ -222,6 +228,14 @@ type NIC struct {
 	probeTolerance  float64
 	relockAttempts  int
 	relockBackoff   time.Duration
+	// drainTimeout bounds the serve loops' shutdown drains (Config.DrainTimeout).
+	drainTimeout time.Duration
+
+	// closing is closed by Close: recovery loops mid-backoff return, and
+	// trip stops spawning new ones, so shutdown never waits out a relock
+	// schedule. closeOnce makes Close idempotent.
+	closing   chan struct{}
+	closeOnce sync.Once
 
 	// Serve-edge loss accounting: datagrams dropped before the datapath
 	// and responses lost after it.
@@ -453,6 +467,9 @@ func New(cfg Config) (*NIC, error) {
 	if cfg.RelockBackoff <= 0 {
 		cfg.RelockBackoff = defaultRelockBackoff
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = defaultDrainTimeout
+	}
 	shards := make([]*shard, cores)
 	for i, core := range pcores {
 		engine := datapath.NewEngine(core, cfg.Seed+shardSeedStride*uint64(i)+1)
@@ -483,6 +500,8 @@ func New(cfg Config) (*NIC, error) {
 		probeTolerance:  cfg.ProbeTolerance,
 		relockAttempts:  cfg.RelockAttempts,
 		relockBackoff:   cfg.RelockBackoff,
+		drainTimeout:    cfg.DrainTimeout,
+		closing:         make(chan struct{}),
 	}
 	if cfg.Batch.Enabled() {
 		n.batcher = nic.NewBatcher(cfg.Batch, n.execBatch)
@@ -512,6 +531,17 @@ func (n *NIC) Drain(ctx context.Context) error {
 		case <-time.After(time.Millisecond):
 		}
 	}
+}
+
+// Close retires the NIC's background machinery: in-flight shard recovery
+// loops abandon their backoff and exit, and no new recovery spawns. Queries
+// already in the datapath still complete — callers sequence Close before a
+// final Drain to get a bounded shutdown even when a dead lane has recovery
+// backing off on a long schedule. Close is idempotent and always returns
+// nil; the error return is for io.Closer conformance.
+func (n *NIC) Close() error {
+	n.closeOnce.Do(func() { close(n.closing) })
+	return nil
 }
 
 // TrainedModel is a classifier ready for registration: train one with

@@ -36,6 +36,18 @@ var txBufPool = sync.Pool{
 	},
 }
 
+// drainDetached is the serve loops' shutdown drain. The serve context is
+// already cancelled (or the socket already dead) when it runs, so draining
+// under ctx directly would return immediately with work still in flight;
+// instead it derives a context that sheds ctx's cancellation but keeps its
+// values, re-bounded by Config.DrainTimeout so a wedged datapath or a
+// recovery loop mid-backoff cannot hang shutdown forever.
+func (n *NIC) drainDetached(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), n.drainTimeout)
+	defer cancel()
+	return n.Drain(dctx)
+}
+
 // encodeTo serializes msg into pooled tx scratch, passes the wire bytes to
 // write, and returns the buffer to the pool. The write callback must not
 // retain the slice.
@@ -83,7 +95,7 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 			n.deadlineErrors.Add(1)
 			select {
 			case <-ctx.Done():
-				return n.Drain(context.Background())
+				return n.drainDetached(ctx)
 			default:
 			}
 		}
@@ -96,7 +108,7 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 				n.reassembly.GC()
 				select {
 				case <-ctx.Done():
-					return n.Drain(context.Background())
+					return n.drainDetached(ctx)
 				default:
 					continue
 				}
@@ -106,7 +118,7 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 			// queue behind a MaxDelay timer (a concurrent HandleMessage
 			// caller's) would otherwise be abandoned mid-flight instead of
 			// flushing; the read error, not any drain error, is the story.
-			_ = n.Drain(context.Background())
+			_ = n.drainDetached(ctx)
 			return err
 		}
 		var msg Message
@@ -214,7 +226,7 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 	defer func() {
 		admit.Close()
 		wg.Wait()
-		_ = n.Drain(context.Background())
+		_ = n.drainDetached(ctx)
 	}()
 
 	bufp := rxBufPool.Get().(*[]byte)
