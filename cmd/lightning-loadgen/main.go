@@ -30,6 +30,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "server UDP address (omit with -self)")
+	targets := flag.String("targets", "", "comma-separated server addresses; socket i dials target i mod N (overrides -addr, e.g. several NICs or a coordinator front door)")
 	modelsFlag := flag.String("models", "1:256", "traffic mix as id:width[:weight] pairs, comma-separated")
 	rate := flag.Float64("rate", 1000, "aggregate offered load, requests/second")
 	sweep := flag.String("sweep", "", "comma-separated offered-load series (overrides -rate, one point per level)")
@@ -62,8 +63,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !*self && *addr == "" {
-		log.Fatal("need -addr (or -self)")
+	var targetList []string
+	if *targets != "" {
+		for _, a := range strings.Split(*targets, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				targetList = append(targetList, a)
+			}
+		}
+	}
+	if !*self && *addr == "" && len(targetList) == 0 {
+		log.Fatal("need -addr or -targets (or -self)")
 	}
 
 	admission := lightning.AdmissionConfig{MaxQueue: *admitQueue, Budget: *admitBudget}
@@ -81,7 +90,7 @@ func main() {
 	ctx := context.Background()
 	for _, r := range rates {
 		point, err := runPoint(ctx, pointConfig{
-			addr: *addr, models: models, rate: r, dist: *dist,
+			addr: *addr, targets: targetList, models: models, rate: r, dist: *dist,
 			duration: *duration, conns: *conns, timeout: *timeout,
 			seed: *seed, reportEvery: *reportEvery,
 			self: *self, workers: *workers, cores: *cores, selfSeed: *selfSeed,
@@ -132,6 +141,7 @@ func main() {
 
 type pointConfig struct {
 	addr        string
+	targets     []string
 	models      []loadgen.ModelSpec
 	rate        float64
 	dist        string
@@ -166,7 +176,7 @@ func runPoint(ctx context.Context, pc pointConfig) (bench.LoadPoint, error) {
 		}
 	}
 	res, runErr := loadgen.Run(loadgen.Config{
-		Addr: addr, Models: pc.models, Rate: pc.rate, Dist: pc.dist,
+		Addr: addr, Targets: pc.targets, Models: pc.models, Rate: pc.rate, Dist: pc.dist,
 		Duration: pc.duration, Conns: pc.conns, Timeout: pc.timeout,
 		Seed: pc.seed, ReportEvery: pc.reportEvery, Progress: os.Stderr,
 	})

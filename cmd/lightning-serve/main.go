@@ -53,7 +53,7 @@ func parseAdmitWeights(s string) (map[uint16]lightning.AdmitPolicy, error) {
 
 func main() {
 	addr := flag.String("addr", ":4055", "UDP listen address")
-	modelName := flag.String("model", "anomaly", "model to serve: anomaly | iot | digits")
+	modelName := flag.String("model", "anomaly", "model to serve: anomaly | iot | digits | none (serve nothing until a coordinator installs partitions; implies -allow-install)")
 	epochs := flag.Int("epochs", 25, "training epochs")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	noiseless := flag.Bool("noiseless", false, "disable the analog noise model")
@@ -72,6 +72,7 @@ func main() {
 	admitBudget := flag.Duration("admit-budget", 0, "per-request latency budget; queued requests past it are shed instead of served (0 disables)")
 	admitWeights := flag.String("admit-weights", "", "per-model service weights as id:weight pairs, comma-separated (empty = equal)")
 	drainTimeout := flag.Duration("drain-timeout", 0, "bound on the shutdown drain of in-flight work (0 = default 5s)")
+	allowInstall := flag.Bool("allow-install", false, "accept wire model installs (CtrlInstallModel) — required for cluster nodes behind lightning-coordinator")
 	flag.Parse()
 
 	admission := lightning.AdmissionConfig{MaxQueue: *admitQueue, Budget: *admitBudget}
@@ -92,12 +93,18 @@ func main() {
 		train, hidden, id = lightning.IoTTrafficDataset(2000, *seed), []int{32, 16}, 2
 	case "digits":
 		train, hidden, id = lightning.DigitsDataset(3000, *seed), []int{64, 32}, 3
+	case "none":
+		// A bare cluster node: no local model, everything it serves arrives
+		// over the wire from a coordinator.
+		*allowInstall = true
 	default:
 		log.Fatalf("unknown model %q", *modelName)
 	}
 
 	var q *lightning.TrainedModel
-	if *loadPath != "" {
+	if *modelName == "none" {
+		// nothing to train, load or save
+	} else if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
 			log.Fatal(err)
@@ -140,16 +147,19 @@ func main() {
 		Lanes: 2, Noiseless: *noiseless, Seed: *seed, Cores: *cores,
 		ReassemblyTTL: *reassemblyTTL,
 		HealthWindow:  *healthWindow, HealthThreshold: *healthThreshold,
-		ProbeEvery:   *probeEvery,
-		Batch:        lightning.BatchConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
-		Admission:    admission,
-		DrainTimeout: *drainTimeout,
+		ProbeEvery:        *probeEvery,
+		Batch:             lightning.BatchConfig{MaxBatch: *maxBatch, MaxDelay: *maxDelay},
+		Admission:         admission,
+		DrainTimeout:      *drainTimeout,
+		AllowModelInstall: *allowInstall,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := nic.RegisterModel(id, *modelName, q); err != nil {
-		log.Fatal(err)
+	if q != nil {
+		if err := nic.RegisterModel(id, *modelName, q); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	pc, err := net.ListenPacket("udp", *addr)
@@ -157,8 +167,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer pc.Close()
-	log.Printf("serving model %q (id %d) on %s with %d core shard(s)",
-		*modelName, id, pc.LocalAddr(), nic.Cores())
+	if q != nil {
+		log.Printf("serving model %q (id %d) on %s with %d core shard(s)",
+			*modelName, id, pc.LocalAddr(), nic.Cores())
+	} else {
+		log.Printf("serving on %s with %d core shard(s), awaiting wire model installs",
+			pc.LocalAddr(), nic.Cores())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -202,6 +217,9 @@ func main() {
 			line += fmt.Sprintf(" | health: quarantines %d, readmissions %d, relocks %d/%d fail, probes %d/%d fail, unavailable %d",
 				h.Quarantines, h.Readmissions, h.Relocks, h.RelockFailures,
 				h.Probes, h.ProbeFailures, h.Unavailable)
+		}
+		if m.ModelInstalls > 0 || m.ModelInstallErrors > 0 {
+			line += fmt.Sprintf(" | installs %d (%d rejected)", m.ModelInstalls, m.ModelInstallErrors)
 		}
 		if b := m.Batch; b.Queries > 0 || m.BatchPending > 0 {
 			line += fmt.Sprintf(" | batch: %d queries / %d flushes (full %d, timer %d, drain %d), max %d, pending %d",

@@ -19,10 +19,14 @@ import (
 
 	"github.com/lightning-smartnic/lightning/internal/fault"
 	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/health"
 	"github.com/lightning-smartnic/lightning/internal/photonic"
 )
 
-// ShardState is a shard's circuit-breaker position.
+// ShardState is a shard's circuit-breaker position. It mirrors
+// internal/health.State (the shared breaker core this NIC and the cluster
+// coordinator both drive) but stays a distinct exported type: the public API
+// predates the extraction and its String form is pinned.
 type ShardState int32
 
 const (
@@ -99,37 +103,6 @@ func probeCoreError(core *photonic.Core) float64 {
 	return sum / float64(len(probePairs))
 }
 
-// pushOutcomeLocked records one served-query outcome in the shard's sliding
-// window. Caller holds hmu.
-func (sh *shard) pushOutcomeLocked(bad bool) {
-	if sh.wcount == len(sh.window) {
-		if sh.window[sh.wpos] {
-			sh.werrs--
-		}
-	} else {
-		sh.wcount++
-	}
-	sh.window[sh.wpos] = bad
-	if bad {
-		sh.werrs++
-	}
-	sh.wpos = (sh.wpos + 1) % len(sh.window)
-}
-
-// scoreLocked returns the window's error rate. Caller holds hmu.
-func (sh *shard) scoreLocked() float64 {
-	if sh.wcount == 0 {
-		return 0
-	}
-	return float64(sh.werrs) / float64(sh.wcount)
-}
-
-// resetWindowLocked clears the sliding window and probe cadence — a fresh
-// start after quarantine or readmission. Caller holds hmu.
-func (sh *shard) resetWindowLocked() {
-	sh.wcount, sh.wpos, sh.werrs, sh.sinceProbe = 0, 0, 0, 0
-}
-
 // pickShard selects the next shard for a query: round-robin over the shard
 // ring, skipping quarantined shards (probation shards take traffic — their
 // live queries are the half-open trials). It returns nil when every shard is
@@ -139,60 +112,23 @@ func (n *NIC) pickShard() *shard {
 	start := n.next.Add(1) - 1
 	for i := uint64(0); i < k; i++ {
 		sh := n.shards[(start+i)%k]
-		if ShardState(sh.state.Load()) != ShardQuarantined {
+		if sh.breaker.Available() {
 			return sh
 		}
 	}
 	return nil
 }
 
-// recordOutcome feeds one served-query outcome into the shard's health
-// machinery, tripping the breaker or progressing probation as warranted,
-// and runs the periodic known-answer probe when due.
+// recordOutcome feeds one served-query outcome into the shard's breaker,
+// tripping it or progressing probation as warranted, and runs the periodic
+// known-answer probe when the cadence asks for one.
 func (n *NIC) recordOutcome(sh *shard, bad bool) {
-	switch ShardState(sh.state.Load()) {
-	case ShardQuarantined:
-		// A query that was already in flight when the breaker tripped;
-		// its outcome was decided by the pre-quarantine hardware state.
-		return
-	case ShardProbation:
-		if bad {
+	switch sh.breaker.Observe(bad) {
+	case health.VerdictTrip:
+		n.trip(sh)
+	case health.VerdictProbeDue:
+		if err := n.probeShard(sh); err != nil {
 			n.trip(sh)
-			return
-		}
-		sh.hmu.Lock()
-		sh.trialsLeft--
-		done := sh.trialsLeft <= 0
-		if done {
-			sh.resetWindowLocked()
-		}
-		sh.hmu.Unlock()
-		if done {
-			sh.state.Store(int32(ShardHealthy))
-			sh.readmissions.Add(1)
-		}
-	case ShardHealthy:
-		sh.hmu.Lock()
-		sh.pushOutcomeLocked(bad)
-		full := sh.wcount == len(sh.window)
-		score := sh.scoreLocked()
-		probeDue := false
-		if n.probeEvery > 0 {
-			sh.sinceProbe++
-			if sh.sinceProbe >= n.probeEvery {
-				sh.sinceProbe = 0
-				probeDue = true
-			}
-		}
-		sh.hmu.Unlock()
-		if full && score >= n.healthThreshold {
-			n.trip(sh)
-			return
-		}
-		if probeDue {
-			if err := n.probeShard(sh); err != nil {
-				n.trip(sh)
-			}
 		}
 	}
 }
@@ -220,7 +156,7 @@ func (n *NIC) probeShard(sh *shard) error {
 func (n *NIC) ProbeShards() []error {
 	errs := make([]error, len(n.shards))
 	for i, sh := range n.shards {
-		if ShardState(sh.state.Load()) == ShardQuarantined {
+		if !sh.breaker.Available() {
 			continue
 		}
 		if err := n.probeShard(sh); err != nil {
@@ -235,14 +171,9 @@ func (n *NIC) ProbeShards() []error {
 // loop. Safe to call from any state; only the transition out of
 // healthy/probation spawns recovery.
 func (n *NIC) trip(sh *shard) {
-	if !sh.state.CompareAndSwap(int32(ShardHealthy), int32(ShardQuarantined)) &&
-		!sh.state.CompareAndSwap(int32(ShardProbation), int32(ShardQuarantined)) {
+	if !sh.breaker.Trip() {
 		return
 	}
-	sh.quarantines.Add(1)
-	sh.hmu.Lock()
-	sh.resetWindowLocked()
-	sh.hmu.Unlock()
 	select {
 	case <-n.closing:
 		// A closed NIC spawns no new recovery; the shard stays quarantined,
@@ -288,11 +219,7 @@ func (n *NIC) recoverShard(sh *shard) {
 		if n.probeShard(sh) != nil {
 			continue
 		}
-		sh.hmu.Lock()
-		sh.trialsLeft = probationTrials
-		sh.resetWindowLocked()
-		sh.hmu.Unlock()
-		sh.state.Store(int32(ShardProbation))
+		sh.breaker.StartProbation()
 		return
 	}
 }
@@ -346,16 +273,13 @@ type HealthStats struct {
 
 // health snapshots one shard for Metrics.
 func (sh *shard) health() ShardHealth {
-	sh.hmu.Lock()
-	score := sh.scoreLocked()
-	sh.hmu.Unlock()
 	return ShardHealth{
-		State:          ShardState(sh.state.Load()),
+		State:          ShardState(sh.breaker.State()),
 		Served:         sh.servedQ.Load(),
 		Errors:         sh.errQ.Load(),
-		Score:          score,
-		Quarantines:    sh.quarantines.Load(),
-		Readmissions:   sh.readmissions.Load(),
+		Score:          sh.breaker.Score(),
+		Quarantines:    sh.breaker.Quarantines(),
+		Readmissions:   sh.breaker.Readmissions(),
 		Probes:         sh.probes.Load(),
 		ProbeFailures:  sh.probeFailures.Load(),
 		Relocks:        sh.relocks.Load(),

@@ -3,6 +3,7 @@ package lightning
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -223,6 +224,47 @@ func TestUnavailableWhenAllShardsQuarantined(t *testing.T) {
 	}
 }
 
+// TestConcurrentProbationReadmitsOnce drives a probation shard with many
+// concurrent clean outcomes — the racing-verdict path only the serial tests
+// used to exercise. Exactly one readmission must be counted no matter how the
+// verdicts interleave, and the shard must land healthy.
+func TestConcurrentProbationReadmitsOnce(t *testing.T) {
+	const width = 64
+	for round := 0; round < 10; round++ {
+		n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 8, Cores: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+			t.Fatal(err)
+		}
+		sh := n.shards[0]
+		sh.breaker.Trip()
+		sh.breaker.StartProbation()
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if _, err := serveQuery(t, n, uint32(g+1), 4, brightHalfQuery(width, g%2)); err != nil {
+					t.Errorf("probation query %d: %v", g, err)
+				}
+			}(g)
+		}
+		wg.Wait()
+		h := n.Metrics().Shards[0]
+		if h.Readmissions != 1 {
+			t.Fatalf("round %d: readmissions = %d, want exactly 1", round, h.Readmissions)
+		}
+		if h.State != ShardHealthy {
+			t.Fatalf("round %d: state = %v after 16 clean outcomes", round, h.State)
+		}
+		if err := n.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestInjectFaultValidatesShard guards the Applier seam.
 func TestInjectFaultValidatesShard(t *testing.T) {
 	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 7, Cores: 2})
@@ -286,7 +328,7 @@ func TestCloseUnblocksRecoveryBackoff(t *testing.T) {
 	if err := n.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	n.shards[0].state.Store(int32(ShardHealthy))
+	n.shards[0].breaker.Reset()
 	n.trip(n.shards[0])
 	if got := n.recovering.Load(); got != 0 {
 		t.Fatalf("trip after Close spawned recovery (recovering = %d)", got)

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// ErrNodeClosed is returned by in-flight calls when the node's connection is
+// torn down (coordinator shutdown, or a fatal socket error).
+var ErrNodeClosed = errors.New("cluster: node connection closed")
+
+// errCallTimeout is the per-call deadline expiry. It satisfies net.Error so
+// callers can classify it alongside real socket timeouts.
+type errCallTimeout struct{ addr string }
+
+func (e errCallTimeout) Error() string { return fmt.Sprintf("cluster: call to %s timed out", e.addr) }
+func (errCallTimeout) Timeout() bool   { return true }
+func (errCallTimeout) Temporary() bool { return true }
+
+// nodeClient is one coordinator↔node UDP channel with a demultiplexing
+// reader: responses are matched to waiting calls by request ID, so any
+// number of coordinator goroutines (pipeline hops, hedged duplicates,
+// install/probe traffic) share the socket concurrently. This is what the
+// root package's Client deliberately is not — the Client serializes on one
+// socket; a coordinator hedging a straggler cannot.
+type nodeClient struct {
+	addr string
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint32
+	waiters map[uint32]chan *nic.Response
+
+	// done is closed by close(); dead is closed by the reader on exit, after
+	// which every pending and future call fails fast with ErrNodeClosed.
+	done      chan struct{}
+	dead      chan struct{}
+	closeOnce sync.Once
+}
+
+// dialNode opens the coordinator's channel to one serving node.
+func dialNode(addr string) (*nodeClient, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing node %s: %w", addr, err)
+	}
+	nc := &nodeClient{
+		addr:    addr,
+		conn:    conn,
+		waiters: make(map[uint32]chan *nic.Response),
+		done:    make(chan struct{}),
+		dead:    make(chan struct{}),
+	}
+	go nc.readLoop()
+	return nc, nil
+}
+
+// readLoop demultiplexes response datagrams to their waiting calls. It owns
+// the read side of the socket and exits when the socket dies — which close()
+// forces by closing the conn.
+func (nc *nodeClient) readLoop() {
+	defer close(nc.dead)
+	buf := make([]byte, 65536)
+	for {
+		n, err := nc.conn.Read(buf)
+		if err != nil {
+			select {
+			case <-nc.done:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		var msg nic.Message
+		if derr := msg.Decode(buf[:n]); derr != nil {
+			continue // damaged datagram: the waiting call times out and retries
+		}
+		if !msg.IsResponse() {
+			continue
+		}
+		resp, perr := nic.ParseResponse(&msg)
+		if perr != nil {
+			continue
+		}
+		// ParseResponse aliases Probs into the shared read buffer; the copy
+		// hands the waiter bytes it owns.
+		resp.Probs = append([]uint8(nil), resp.Probs...)
+		nc.mu.Lock()
+		ch := nc.waiters[resp.RequestID]
+		delete(nc.waiters, resp.RequestID)
+		nc.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered: never blocks the reader
+		}
+	}
+}
+
+// call sends one request (query or control payload, per flags) and waits for
+// its response, at most timeout. Large payloads fragment; the flags survive
+// on every fragment.
+func (nc *nodeClient) call(ctx context.Context, flags uint8, modelID uint16, payload []byte, timeout time.Duration) (*nic.Response, error) {
+	nc.mu.Lock()
+	select {
+	case <-nc.dead:
+		nc.mu.Unlock()
+		return nil, ErrNodeClosed
+	default:
+	}
+	nc.nextID++
+	id := nc.nextID
+	ch := make(chan *nic.Response, 1)
+	nc.waiters[id] = ch
+	nc.mu.Unlock()
+	defer func() {
+		nc.mu.Lock()
+		delete(nc.waiters, id)
+		nc.mu.Unlock()
+	}()
+
+	msgs, err := nic.FragmentFlags(id, modelID, flags, payload, nic.MaxFragPayload)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		out, eerr := m.Encode()
+		if eerr != nil {
+			return nil, eerr
+		}
+		if _, werr := nc.conn.Write(out); werr != nil {
+			return nil, fmt.Errorf("cluster: sending to %s: %w", nc.addr, werr)
+		}
+	}
+
+	if timeout <= 0 {
+		timeout = time.Millisecond
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-t.C:
+		return nil, errCallTimeout{addr: nc.addr}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-nc.dead:
+		return nil, ErrNodeClosed
+	}
+}
+
+// close tears the channel down: the socket closes, the reader exits, and
+// every pending call fails with ErrNodeClosed.
+func (nc *nodeClient) close() error {
+	var err error
+	nc.closeOnce.Do(func() {
+		close(nc.done)
+		err = nc.conn.Close()
+	})
+	return err
+}

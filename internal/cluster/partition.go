@@ -1,0 +1,57 @@
+// Package cluster is the multi-NIC serving plane: a coordinator that splits
+// a model into a layer pipeline across N lightning-serve nodes, scatters
+// activations hop to hop, gathers the final verdict, and — the robustness
+// core — keeps serving through partial failure. Each node carries the same
+// circuit-breaker state machine a NIC's shards do (internal/health); a node
+// that times out, answers Err-flagged, or drifts off its known-answer
+// baseline trips its breaker, the coordinator re-partitions the model onto
+// the survivors, and requests keep completing. When no viable plan exists
+// the coordinator degrades to explicit Err-flagged responses — never a
+// silent wrong answer.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/lightning-smartnic/lightning/internal/nn"
+)
+
+// PartitionPipeline splits q into n sub-networks of consecutive layers, as
+// evenly as possible (stage depths differ by at most one layer, earlier
+// stages taking the extra). Stage k's input width is stage k-1's output
+// width, so activations chain hop to hop; only the last stage contains the
+// Final layer, so intermediate stages return requantized activations and the
+// tail returns the classification (dagloader serves both shapes).
+//
+// The returned sub-networks share q's weight tensors — partitioning is a
+// view, not a copy — so callers must not mutate q afterwards.
+func PartitionPipeline(q *nn.QuantizedNetwork, n int) ([]*nn.QuantizedNetwork, error) {
+	if q == nil || len(q.Layers) == 0 {
+		return nil, fmt.Errorf("cluster: cannot partition an empty network")
+	}
+	if len(q.Sizes) != len(q.Layers)+1 {
+		return nil, fmt.Errorf("cluster: network has %d sizes for %d layers", len(q.Sizes), len(q.Layers))
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: partition count %d < 1", n)
+	}
+	if n > len(q.Layers) {
+		return nil, fmt.Errorf("cluster: %d partitions exceed the network's %d layers", n, len(q.Layers))
+	}
+	parts := make([]*nn.QuantizedNetwork, 0, n)
+	per, extra := len(q.Layers)/n, len(q.Layers)%n
+	lo := 0
+	for k := 0; k < n; k++ {
+		depth := per
+		if k < extra {
+			depth++
+		}
+		hi := lo + depth
+		parts = append(parts, &nn.QuantizedNetwork{
+			Sizes:  q.Sizes[lo : hi+1],
+			Layers: q.Layers[lo:hi],
+		})
+		lo = hi
+	}
+	return parts, nil
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/nn"
+)
+
+// deepNet hand-builds a depth-layer network with distinct widths per
+// boundary so partition shape bugs (off-by-one slicing, swapped bounds)
+// show up as size mismatches, not silent aliasing.
+func deepNet(depth int) *nn.QuantizedNetwork {
+	q := &nn.QuantizedNetwork{Sizes: []int{depth + 2}}
+	for l := 0; l < depth; l++ {
+		in, out := q.Sizes[l], depth+1-l
+		rows := make([][]fixed.Signed, out)
+		for r := range rows {
+			rows[r] = make([]fixed.Signed, in)
+		}
+		q.Sizes = append(q.Sizes, out)
+		q.Layers = append(q.Layers, nn.QuantizedLayer{
+			Weights: rows,
+			Bias:    make([]fixed.Acc, out),
+			Shift:   8,
+			Final:   l == depth-1,
+			WScale:  fixed.Scale{Max: 1},
+		})
+	}
+	return q
+}
+
+func TestPartitionPipelineShapes(t *testing.T) {
+	for _, tc := range []struct {
+		depth, n int
+		want     []int // layers per stage
+	}{
+		{depth: 4, n: 1, want: []int{4}},
+		{depth: 4, n: 2, want: []int{2, 2}},
+		{depth: 5, n: 2, want: []int{3, 2}},
+		{depth: 5, n: 3, want: []int{2, 2, 1}},
+		{depth: 3, n: 3, want: []int{1, 1, 1}},
+	} {
+		q := deepNet(tc.depth)
+		parts, err := PartitionPipeline(q, tc.n)
+		if err != nil {
+			t.Fatalf("depth %d n %d: %v", tc.depth, tc.n, err)
+		}
+		if len(parts) != tc.n {
+			t.Fatalf("depth %d n %d: %d parts", tc.depth, tc.n, len(parts))
+		}
+		for k, p := range parts {
+			if len(p.Layers) != tc.want[k] {
+				t.Errorf("depth %d n %d: stage %d has %d layers, want %d",
+					tc.depth, tc.n, k, len(p.Layers), tc.want[k])
+			}
+			if len(p.Sizes) != len(p.Layers)+1 {
+				t.Errorf("stage %d: %d sizes for %d layers", k, len(p.Sizes), len(p.Layers))
+			}
+			// Stage k's input width must be stage k-1's output width, so
+			// activations chain hop to hop without translation.
+			if k > 0 && p.Sizes[0] != parts[k-1].Sizes[len(parts[k-1].Sizes)-1] {
+				t.Errorf("stage %d input width %d != stage %d output width", k, p.Sizes[0], k-1)
+			}
+			for li, l := range p.Layers {
+				isTail := k == tc.n-1 && li == len(p.Layers)-1
+				if l.Final != isTail {
+					t.Errorf("depth %d n %d: stage %d layer %d Final=%v, want %v",
+						tc.depth, tc.n, k, li, l.Final, isTail)
+				}
+			}
+		}
+		if first := parts[0].Sizes[0]; first != q.Sizes[0] {
+			t.Errorf("pipeline input width %d, want %d", first, q.Sizes[0])
+		}
+		if last := parts[tc.n-1]; last.Sizes[len(last.Sizes)-1] != q.Sizes[len(q.Sizes)-1] {
+			t.Errorf("pipeline output width mismatch")
+		}
+	}
+}
+
+func TestPartitionPipelineErrors(t *testing.T) {
+	q := deepNet(3)
+	for _, tc := range []struct {
+		name string
+		q    *nn.QuantizedNetwork
+		n    int
+	}{
+		{"nil network", nil, 1},
+		{"empty network", &nn.QuantizedNetwork{}, 1},
+		{"zero parts", q, 0},
+		{"negative parts", q, -1},
+		{"more parts than layers", q, 4},
+		{"inconsistent sizes", &nn.QuantizedNetwork{Sizes: []int{4, 2}, Layers: q.Layers}, 1},
+	} {
+		if _, err := PartitionPipeline(tc.q, tc.n); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/health"
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// readTick is how often the serve loop surfaces from a blocking read to
+// check for cancellation and expire stale reassembly entries — the same
+// cadence the NIC serve loops use.
+const readTick = 100 * time.Millisecond
+
+// ServeUDP is the cluster's front door: it speaks the exact wire protocol a
+// single NIC does (so clients, including cmd/lightning-loadgen, need no
+// changes), reassembles fragmented queries, and runs each through the
+// pipeline on a worker pool. Responses carry Config.ModelID; requests for
+// any other model get an Err-flagged response. The loop exits on context
+// cancellation (returning nil once the workers drain) or a fatal read error.
+func (c *Coordinator) ServeUDP(ctx context.Context, pc net.PacketConn, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		requestID uint32
+		query     []byte
+		addr      net.Addr
+	}
+	jobs := make(chan job, workers*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				resp, _ := c.Infer(ctx, j.query) // the Err flag rides in the response
+				resp.RequestID = j.requestID
+				c.writeResponse(pc, j.addr, resp)
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	buf := make([]byte, 65536)
+	for {
+		if err := pc.SetReadDeadline(c.now().Add(readTick)); err != nil {
+			c.writeErrors.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+			}
+		}
+		sz, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.reassembly.GC()
+				select {
+				case <-ctx.Done():
+					return nil
+				default:
+					continue
+				}
+			}
+			return err
+		}
+		var msg nic.Message
+		if derr := msg.Decode(buf[:sz]); derr != nil {
+			c.decodeErrors.Add(1)
+			continue
+		}
+		if msg.IsResponse() {
+			continue
+		}
+		query, modelID, done, rerr := c.reassembly.Offer(&msg)
+		if rerr != nil {
+			c.writeResponse(pc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true})
+			continue
+		}
+		if !done {
+			continue
+		}
+		if modelID != c.cfg.ModelID {
+			c.writeResponse(pc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: modelID, Err: true})
+			continue
+		}
+		if msg.Flags&nic.FlagFragment == 0 {
+			// Unfragmented queries alias the shared read buffer; the worker
+			// needs its own copy. Reassembled queries already own theirs.
+			query = append([]byte(nil), query...)
+		}
+		select {
+		case jobs <- job{requestID: msg.RequestID, query: query, addr: addr}:
+		default:
+			// Workers saturated: shed at ingress, honestly.
+			c.writeResponse(pc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: modelID, Err: true})
+			c.degraded.Add(1)
+		}
+	}
+}
+
+// writeResponse encodes and sends one response, counting (never fatally
+// surfacing) write failures — one unreachable client must not stop the
+// front door.
+func (c *Coordinator) writeResponse(pc net.PacketConn, addr net.Addr, resp *nic.Response) {
+	out, err := resp.ToMessage().Encode()
+	if err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	if _, werr := pc.WriteTo(out, addr); werr != nil {
+		c.writeErrors.Add(1)
+	}
+}
+
+// NodeMetrics is one node's health and traffic snapshot.
+type NodeMetrics struct {
+	Addr          string
+	State         health.State
+	Served        uint64
+	Errors        uint64
+	Probes        uint64
+	ProbeFailures uint64
+	Quarantines   uint64
+	Readmissions  uint64
+}
+
+// Metrics is a coordinator-wide counter snapshot.
+type Metrics struct {
+	// Epoch is the current plan's epoch (0 when no plan is placed), Stages
+	// its pipeline depth.
+	Epoch  uint64
+	Stages int
+	// Served counts completed requests; Degraded counts requests answered
+	// with an explicit Err flag (no viable plan, budget exhausted, shed);
+	// Restarts counts request restarts after a mid-pipeline re-plan.
+	Served, Degraded, Restarts uint64
+	// Replans counts successful plan placements (including the first);
+	// Hedges counts hedged dispatches; HopRetries counts per-hop retry
+	// attempts.
+	Replans, Hedges, HopRetries uint64
+	// Installs and InstallErrors count partition pushes onto nodes.
+	Installs, InstallErrors uint64
+	// DecodeErrors and WriteErrors count front-door datagram failures.
+	DecodeErrors, WriteErrors uint64
+	// Nodes holds one snapshot per configured node, in Config.Nodes order.
+	Nodes []NodeMetrics
+}
+
+// Metrics returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Metrics() Metrics {
+	m := Metrics{
+		Served:        c.served.Load(),
+		Degraded:      c.degraded.Load(),
+		Restarts:      c.restarts.Load(),
+		Replans:       c.replans.Load(),
+		Hedges:        c.hedges.Load(),
+		HopRetries:    c.hopRetries.Load(),
+		Installs:      c.installs.Load(),
+		InstallErrors: c.installErrors.Load(),
+		DecodeErrors:  c.decodeErrors.Load(),
+		WriteErrors:   c.writeErrors.Load(),
+	}
+	if p := c.plan.Load(); p != nil {
+		m.Epoch = p.epoch
+		m.Stages = len(p.stages)
+	}
+	for _, n := range c.nodes {
+		m.Nodes = append(m.Nodes, NodeMetrics{
+			Addr:          n.addr,
+			State:         n.breaker.State(),
+			Served:        n.served.Load(),
+			Errors:        n.errs.Load(),
+			Probes:        n.probes.Load(),
+			ProbeFailures: n.probeFailures.Load(),
+			Quarantines:   n.breaker.Quarantines(),
+			Readmissions:  n.breaker.Readmissions(),
+		})
+	}
+	return m
+}

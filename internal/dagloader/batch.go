@@ -82,5 +82,11 @@ func (ld *Loader) ServeBatch(id uint16, inputs [][]fixed.Code) ([]*Result, datap
 		}
 		acts, next = next, make([][]fixed.Code, len(inputs))
 	}
-	return nil, batchStats, fmt.Errorf("dagloader: model %s has no final layer", mc.Name)
+	// No final layer: an intermediate pipeline partition (see Serve). Each
+	// query's output is its requantized activation vector.
+	for qi := range results {
+		results[qi].Probs = acts[qi]
+		results[qi].Class = -1
+	}
+	return results, batchStats, nil
 }

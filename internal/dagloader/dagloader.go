@@ -361,5 +361,12 @@ func (ld *Loader) Serve(id uint16, input []fixed.Code) (*Result, error) {
 		}
 		act = datapath.RequantizeVec(out.Raw, lc.Shift)
 	}
-	return nil, fmt.Errorf("dagloader: model %s has no final layer", mc.Name)
+	// No layer was marked final: this model is an intermediate partition of a
+	// pipeline-split network (cluster scale-out). Its output is the last
+	// layer's requantized activations, returned in Probs so they ride the
+	// existing response payload to the next hop; no class or softmax exists
+	// yet at this stage.
+	res.Probs = act
+	res.Class = -1
+	return &res, nil
 }

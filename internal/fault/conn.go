@@ -162,7 +162,7 @@ func (c *DropRxConn) ReadFrom(p []byte) (int, net.Addr, error) {
 // [0, 1]; draws come from a seeded generator, so a single-reader serve loop
 // sees a reproducible loss pattern for a fixed seed.
 type ConnConfig struct {
-	// Seed drives every loss/corruption/duplication draw.
+	// Seed drives every loss/corruption/duplication/jitter draw.
 	Seed uint64
 	// RxDrop is the probability an inbound datagram is silently lost.
 	RxDrop float64
@@ -176,24 +176,45 @@ type ConnConfig struct {
 	// TxDup is the probability an outbound datagram is sent twice — the
 	// duplication clients must tolerate by request ID.
 	TxDup float64
+	// RxLatency delays each delivered inbound datagram; RxJitter adds a
+	// seeded uniform draw from [0, RxJitter) on top — the multi-hop latency
+	// model a cluster's slow-node faults need. TxLatency/TxJitter do the
+	// same for sends. The delay sequence is reproducible for a fixed Seed.
+	RxLatency, RxJitter time.Duration
+	TxLatency, TxJitter time.Duration
 }
 
 // ConnStats counts the faults a Conn has injected.
 type ConnStats struct {
 	RxDropped, RxCorrupted, TxDropped, TxDuplicated uint64
+	// TxCorrupted counts outbound datagrams damaged by CorruptNextTx —
+	// the corrupted-partials fault of the cluster chaos suite.
+	TxCorrupted uint64
+	// Blackholed counts datagrams (both directions) lost to a partition
+	// (Blackhole(true)).
+	Blackholed uint64
 }
 
 // Conn wraps a net.PacketConn with seeded, per-datagram network faults:
-// inbound drop and bit corruption, outbound drop and duplication. It
-// generalizes the ad-hoc lossy wrappers the lifecycle tests grew, as one
-// reusable chaos component.
+// inbound drop and bit corruption, outbound drop and duplication, rx/tx
+// latency with jitter, and runtime partition (Blackhole) and targeted
+// corruption (CorruptNextTx) controls. It generalizes the ad-hoc lossy
+// wrappers the lifecycle tests grew, as one reusable chaos component — and
+// is the network surface node-level faults (NodeSlow, NodePartition,
+// NodeCorrupt) act on.
 type Conn struct {
 	net.PacketConn
 
-	mu    sync.Mutex // guards rng and stats
+	mu    sync.Mutex // guards rng, cfg, stats and the runtime fault state
 	rng   *rand.Rand
 	cfg   ConnConfig
 	stats ConnStats
+	// blackhole, while set, loses every datagram in both directions — a
+	// network partition around this endpoint.
+	blackhole bool
+	// corruptTx flips one bit in each of the next corruptTx outbound
+	// datagrams.
+	corruptTx int
 }
 
 // NewConn wraps pc with the configured fault behaviour.
@@ -208,9 +229,48 @@ func (c *Conn) Stats() ConnStats {
 	return c.stats
 }
 
+// Blackhole partitions (or heals, with on=false) this endpoint: while
+// partitioned every datagram in both directions is silently lost, exactly as
+// a switch dropping the node's traffic would behave.
+func (c *Conn) Blackhole(on bool) {
+	c.mu.Lock()
+	c.blackhole = on
+	c.mu.Unlock()
+}
+
+// SetLatency replaces the rx/tx latency and jitter injection at runtime —
+// a slow-node fault arriving (or healing) mid-run.
+func (c *Conn) SetLatency(rxLat, rxJit, txLat, txJit time.Duration) {
+	c.mu.Lock()
+	c.cfg.RxLatency, c.cfg.RxJitter = rxLat, rxJit
+	c.cfg.TxLatency, c.cfg.TxJitter = txLat, txJit
+	c.mu.Unlock()
+}
+
+// CorruptNextTx flips one seeded-random bit in each of the next n outbound
+// datagrams — a node emitting corrupted partials while still responsive.
+func (c *Conn) CorruptNextTx(n int) {
+	c.mu.Lock()
+	c.corruptTx += n
+	c.mu.Unlock()
+}
+
+// delayLocked draws one latency+jitter delay; caller holds mu, the sleep
+// happens outside it.
+func (c *Conn) delayLocked(lat, jit time.Duration) time.Duration {
+	d := lat
+	if jit > 0 {
+		d += time.Duration(c.rng.Int64N(int64(jit)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // ReadFrom implements net.PacketConn: datagrams may be dropped (the read
 // retries for the next one, as the kernel would simply never surface a lost
-// packet) or have one bit flipped.
+// packet), have one bit flipped, or be delivered late (RxLatency/RxJitter).
 func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
 	for {
 		n, addr, err := c.PacketConn.ReadFrom(p)
@@ -218,6 +278,11 @@ func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
 			return n, addr, err
 		}
 		c.mu.Lock()
+		if c.blackhole {
+			c.stats.Blackholed++
+			c.mu.Unlock()
+			continue
+		}
 		if c.rng.Float64() < c.cfg.RxDrop {
 			c.stats.RxDropped++
 			c.mu.Unlock()
@@ -228,15 +293,25 @@ func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
 			p[pos/8] ^= 1 << (pos % 8)
 			c.stats.RxCorrupted++
 		}
+		delay := c.delayLocked(c.cfg.RxLatency, c.cfg.RxJitter)
 		c.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
 		return n, addr, nil
 	}
 }
 
 // WriteTo implements net.PacketConn: datagrams may be silently dropped
-// (reported as sent) or duplicated.
+// (reported as sent), duplicated, bit-corrupted (CorruptNextTx), or delayed
+// (TxLatency/TxJitter).
 func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	c.mu.Lock()
+	if c.blackhole {
+		c.stats.Blackholed++
+		c.mu.Unlock()
+		return len(p), nil
+	}
 	drop := c.rng.Float64() < c.cfg.TxDrop
 	dup := !drop && c.rng.Float64() < c.cfg.TxDup
 	if drop {
@@ -245,16 +320,36 @@ func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	if dup {
 		c.stats.TxDuplicated++
 	}
+	corrupt := -1
+	if !drop && c.corruptTx > 0 && len(p) > 0 {
+		c.corruptTx--
+		c.stats.TxCorrupted++
+		corrupt = c.rng.IntN(len(p) * 8)
+	}
+	delay := time.Duration(0)
+	if !drop {
+		delay = c.delayLocked(c.cfg.TxLatency, c.cfg.TxJitter)
+	}
 	c.mu.Unlock()
 	if drop {
 		return len(p), nil
 	}
-	n, err := c.PacketConn.WriteTo(p, addr)
+	out := p
+	if corrupt >= 0 {
+		// Corrupt a copy: WriteTo must not damage the caller's buffer (the
+		// client retries with it).
+		out = append([]byte(nil), p...)
+		out[corrupt/8] ^= 1 << (corrupt % 8)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	n, err := c.PacketConn.WriteTo(out, addr)
 	if err != nil {
 		return n, err
 	}
 	if dup {
-		if _, derr := c.PacketConn.WriteTo(p, addr); derr != nil {
+		if _, derr := c.PacketConn.WriteTo(out, addr); derr != nil {
 			return n, derr
 		}
 	}

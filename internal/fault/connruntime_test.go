@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests for Conn's runtime fault controls — the surfaces node-level faults
+// drive mid-run: Blackhole (partition), SetLatency (straggler), and the
+// latency/jitter config. CorruptNextTx is covered with NodeCorrupt in
+// node_test.go.
+
+func TestConnBlackholeBothDirections(t *testing.T) {
+	inner := NewStubConn([][]byte{{1}, {2}, {3}})
+	c := NewConn(inner, ConnConfig{Seed: 4})
+	c.Blackhole(true)
+	// Rx: every queued datagram is swallowed; the read surfaces the drained
+	// queue's timeout, exactly like a partitioned socket going silent.
+	buf := make([]byte, 4)
+	if _, _, err := c.ReadFrom(buf); err == nil {
+		t.Fatal("partitioned read delivered a datagram")
+	}
+	// Tx: reported as written, never delivered.
+	if n, err := c.WriteTo([]byte{9}, Addr{}); err != nil || n != 1 {
+		t.Fatalf("partitioned write: n=%d err=%v, want reported success", n, err)
+	}
+	if inner.Writes() != 0 {
+		t.Fatalf("partitioned conn delivered %d writes", inner.Writes())
+	}
+	if st := c.Stats(); st.Blackholed != 4 {
+		t.Fatalf("Blackholed = %d, want 4 (3 rx + 1 tx)", st.Blackholed)
+	}
+	// Heal: traffic flows again in both directions.
+	c.Blackhole(false)
+	inner.Enqueue([]byte{7})
+	if n, _, err := c.ReadFrom(buf); err != nil || buf[0] != 7 {
+		t.Fatalf("healed read = %v (n=%d, err=%v), want [7]", buf[:1], n, err)
+	}
+	if _, err := c.WriteTo([]byte{8}, Addr{}); err != nil || inner.Writes() != 1 {
+		t.Fatalf("healed write: err=%v writes=%d, want delivery", err, inner.Writes())
+	}
+}
+
+// TestConnLatencyLowerBound: configured rx/tx latency must actually delay
+// traffic. Only a lower bound is asserted so the test stays robust under CI
+// load; jitter adds on top, never subtracts.
+func TestConnLatencyLowerBound(t *testing.T) {
+	inner := NewStubConn()
+	for i := 0; i < 5; i++ {
+		inner.Enqueue([]byte{byte(i)})
+	}
+	c := NewConn(inner, ConnConfig{Seed: 5, RxLatency: 2 * time.Millisecond, TxLatency: 2 * time.Millisecond})
+	buf := make([]byte, 4)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.ReadFrom(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("5 reads at 2ms rx latency took %v, want >= 10ms", elapsed)
+	}
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.WriteTo([]byte{byte(i)}, Addr{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("5 writes at 2ms tx latency took %v, want >= 10ms", elapsed)
+	}
+}
+
+// TestConnSetLatencyAtRuntime: SetLatency reconfigures a live conn — the
+// slow-node fault arriving and healing mid-run — and jitter draws stay on
+// the seeded stream (reconfiguring must not reseed it).
+func TestConnSetLatencyAtRuntime(t *testing.T) {
+	inner := NewStubConn()
+	c := NewConn(inner, ConnConfig{Seed: 6})
+	// Fast by default.
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := c.WriteTo([]byte{1}, Addr{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fast := time.Since(start)
+	c.SetLatency(0, 0, 2*time.Millisecond, 0)
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.WriteTo([]byte{1}, Addr{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slow := time.Since(start); slow < 10*time.Millisecond {
+		t.Fatalf("post-SetLatency writes took %v (baseline %v), want >= 10ms", slow, fast)
+	}
+	// Heal: back to fast. Bound the healed pass generously rather than
+	// comparing against the baseline, which CI noise would make flaky.
+	c.SetLatency(0, 0, 0, 0)
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.WriteTo([]byte{1}, Addr{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if healed := time.Since(start); healed >= 10*time.Millisecond {
+		t.Fatalf("healed writes still slow: %v", healed)
+	}
+}
+
+// TestConnJitterDeterministicBySeed: with jitter configured, two conns on
+// the same seed draw the identical delay sequence — the property that makes
+// a chaos run a regression test. The delays are observed through the
+// deterministic delayLocked draw by timing-free inspection: we reconstruct
+// the expected sequence from an identically-seeded twin and compare stats
+// after identical traffic.
+func TestConnJitterDeterministicBySeed(t *testing.T) {
+	run := func(seed uint64) ConnStats {
+		inner := NewStubConn()
+		c := NewConn(inner, ConnConfig{
+			Seed: seed, TxDrop: 0.3, TxJitter: time.Microsecond, TxLatency: 0,
+		})
+		for i := 0; i < 100; i++ {
+			if _, err := c.WriteTo([]byte{byte(i)}, Addr{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(12), run(12)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if o := run(13); o == a {
+		t.Fatalf("different seeds produced identical fault patterns: %+v", o)
+	}
+}

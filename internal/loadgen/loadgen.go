@@ -50,6 +50,11 @@ type ModelSpec struct {
 type Config struct {
 	// Addr is the server's UDP address.
 	Addr string
+	// Targets optionally spreads the load over several server addresses:
+	// socket i dials Targets[i mod len(Targets)], so a multi-endpoint
+	// deployment (several NICs, or coordinator front doors) shares the
+	// offered load evenly. Empty means every socket dials Addr.
+	Targets []string
 	// Models is the traffic mix; at least one entry.
 	Models []ModelSpec
 	// Rate is the aggregate offered arrival rate in requests/second.
@@ -221,12 +226,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for i := 0; i < cfg.Conns; i++ {
-		conn, err := net.Dial("udp", cfg.Addr)
+		addr := cfg.Addr
+		if len(cfg.Targets) > 0 {
+			addr = cfg.Targets[i%len(cfg.Targets)]
+		}
+		if addr == "" {
+			return nil, errors.New("loadgen: no target address (set Addr or Targets)")
+		}
+		conn, err := net.Dial("udp", addr)
 		if err != nil {
 			for _, cs := range g.conns {
 				cs.conn.Close()
 			}
-			return nil, fmt.Errorf("loadgen: dial %s: %w", cfg.Addr, err)
+			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
 		}
 		g.conns = append(g.conns, &connState{conn: conn, pending: map[uint32]pendingEntry{}})
 	}

@@ -39,11 +39,19 @@ const DefaultReassemblyTTL = 5 * time.Second
 // Fragment splits a large query into fragment messages sharing the request
 // ID. Queries that already fit return a single unfragmented message.
 func Fragment(requestID uint32, modelID uint16, query []byte, maxPayload int) ([]*Message, error) {
+	return FragmentFlags(requestID, modelID, 0, query, maxPayload)
+}
+
+// FragmentFlags is Fragment with caller flags preserved: every fragment
+// carries flags|FlagFragment, and an unfragmented query keeps flags as-is.
+// Control messages (FlagControl) use this so a multi-fragment model install
+// is still recognizable as control traffic on its completing fragment.
+func FragmentFlags(requestID uint32, modelID uint16, flags uint8, query []byte, maxPayload int) ([]*Message, error) {
 	if maxPayload <= 0 {
 		maxPayload = MaxFragPayload
 	}
 	if len(query) <= maxPayload {
-		return []*Message{{RequestID: requestID, ModelID: modelID, Payload: query}}, nil
+		return []*Message{{Flags: flags, RequestID: requestID, ModelID: modelID, Payload: query}}, nil
 	}
 	chunk := maxPayload - FragHeaderLen
 	if chunk <= 0 {
@@ -64,7 +72,7 @@ func Fragment(requestID uint32, modelID uint16, query []byte, maxPayload int) ([
 		binary.BigEndian.PutUint32(payload[4:8], uint32(len(query)))
 		copy(payload[FragHeaderLen:], query[lo:hi])
 		msgs = append(msgs, &Message{
-			Flags:     FlagFragment,
+			Flags:     flags | FlagFragment,
 			RequestID: requestID,
 			ModelID:   modelID,
 			Payload:   payload,

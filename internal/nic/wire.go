@@ -40,7 +40,43 @@ const (
 	FlagResponse   = 1 << 0
 	FlagError      = 1 << 1
 	FlagHeaderData = 1 << 2 // query data derived from packet headers, not payload
+	// FlagFragment (1 << 3) lives in fragment.go with the fragment layout.
+
+	// FlagControl marks a control-plane message: the payload is an op byte
+	// followed by an op-specific body instead of inference input. The cluster
+	// coordinator uses control messages to install model partitions on remote
+	// NICs over the same socket queries ride (§6.1's PCIe update path, lifted
+	// onto the wire). Control messages fragment like large queries do; the
+	// flag survives on every fragment and is read off the completing one.
+	FlagControl = 1 << 4
 )
+
+// Control-message op codes (first payload byte of a FlagControl message).
+const (
+	// CtrlInstallModel carries a serialized quantized network (nn's "LQN1"
+	// format) to register — or atomically replace — under the message's model
+	// ID. The NIC acks with a plain Response; the Err flag reports rejection
+	// (installs disabled, malformed body).
+	CtrlInstallModel = 1
+)
+
+// BuildControlMessage packs a control op and body into a wire message.
+func BuildControlMessage(requestID uint32, modelID uint16, op byte, body []byte) *Message {
+	payload := make([]byte, 1+len(body))
+	payload[0] = op
+	copy(payload[1:], body)
+	return &Message{Flags: FlagControl, RequestID: requestID, ModelID: modelID, Payload: payload}
+}
+
+// ParseControl splits a control payload into its op byte and body. It takes
+// the raw payload rather than a Message because control frames may arrive
+// fragmented: the caller hands it the reassembled query bytes.
+func ParseControl(payload []byte) (op byte, body []byte, err error) {
+	if len(payload) < 1 {
+		return 0, nil, fmt.Errorf("%w: control payload", ErrTruncated)
+	}
+	return payload[0], payload[1:], nil
+}
 
 // Message is a Lightning request or response.
 type Message struct {

@@ -16,6 +16,7 @@
 package lightning
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"github.com/lightning-smartnic/lightning/internal/dagloader"
 	"github.com/lightning-smartnic/lightning/internal/datapath"
 	"github.com/lightning-smartnic/lightning/internal/fixed"
+	"github.com/lightning-smartnic/lightning/internal/health"
 	"github.com/lightning-smartnic/lightning/internal/mem"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 	"github.com/lightning-smartnic/lightning/internal/nn"
@@ -138,6 +140,12 @@ type Config struct {
 	// shutdown past this budget (default 5s). An explicit Drain call is
 	// bounded by its own context instead.
 	DrainTimeout time.Duration
+	// AllowModelInstall accepts wire control messages (nic.FlagControl /
+	// CtrlInstallModel) that register or replace a model over the serving
+	// socket — how a cluster coordinator pushes pipeline partitions onto its
+	// nodes. Off by default: a NIC serving untrusted traffic must not let
+	// clients swap its models.
+	AllowModelInstall bool
 }
 
 // DefaultConfig matches the §6 prototype.
@@ -163,29 +171,16 @@ type shard struct {
 	// served queries (guarded by mu).
 	totals datapath.LayerStats
 
-	// state is the circuit-breaker position (a ShardState), atomic so the
-	// dispatch path reads it without taking any lock.
-	state atomic.Int32
+	// breaker is the shard's health state machine (window scoring, trip,
+	// half-open probation) — the shared internal/health core the cluster
+	// coordinator also drives per node. Its state read is lock-free, so the
+	// dispatch path checks availability without contending with mu.
+	breaker *health.Breaker
 
-	// hmu guards the health window and probation bookkeeping below. It is
-	// separate from mu so health scoring never contends with a query
-	// occupying the datapath.
-	hmu    sync.Mutex
-	window []bool
-	wpos   int
-	wcount int
-	werrs  int
-	// sinceProbe counts served queries since the last periodic probe.
-	sinceProbe int
-	// trialsLeft is the remaining clean probation outcomes before
-	// readmission.
-	trialsLeft int
-
-	// Per-shard health counters (satellite of the aggregate Metrics).
+	// Per-shard health counters (satellite of the aggregate Metrics; the
+	// quarantine/readmission counts live on the breaker).
 	servedQ        atomic.Uint64
 	errQ           atomic.Uint64
-	quarantines    atomic.Uint64
-	readmissions   atomic.Uint64
 	probes         atomic.Uint64
 	probeFailures  atomic.Uint64
 	relocks        atomic.Uint64
@@ -221,13 +216,17 @@ type NIC struct {
 	// quarantined.
 	unavailable atomic.Uint64
 
-	// Resolved health policy (see Config).
-	healthWindow    int
-	healthThreshold float64
-	probeEvery      int
-	probeTolerance  float64
-	relockAttempts  int
-	relockBackoff   time.Duration
+	// allowInstall gates wire model installs (Config.AllowModelInstall);
+	// installs and installErrors count accepted and rejected ones.
+	allowInstall  bool
+	installs      atomic.Uint64
+	installErrors atomic.Uint64
+
+	// Resolved health policy (see Config); window/threshold/cadence live in
+	// each shard's breaker.
+	probeTolerance float64
+	relockAttempts int
+	relockBackoff  time.Duration
 	// drainTimeout bounds the serve loops' shutdown drains (Config.DrainTimeout).
 	drainTimeout time.Duration
 
@@ -309,6 +308,10 @@ type Metrics struct {
 	Batch BatchStats
 	// BatchPending is the instantaneous queued-but-unflushed query count.
 	BatchPending int
+	// ModelInstalls and ModelInstallErrors count wire control-plane model
+	// installs accepted and rejected (always zero unless the NIC was built
+	// with Config.AllowModelInstall).
+	ModelInstalls, ModelInstallErrors uint64
 	// Shards holds one health snapshot per photonic-core shard, in shard
 	// order.
 	Shards []ShardHealth
@@ -348,17 +351,19 @@ type ServeDrops struct {
 // Metrics returns a consistent snapshot.
 func (n *NIC) Metrics() Metrics {
 	m := Metrics{
-		Served:            n.Served(),
-		Parser:            n.parser.Stats(),
-		DRAMReads:         n.store.DRAM.Reads(),
-		DRAMReadBytes:     n.store.DRAM.ReadBytes(),
-		DRAMFaultedReads:  n.store.DRAM.FaultedReads(),
-		TxFrames:          n.link.TxFrames(),
-		TxBytes:           n.link.TxBytes(),
-		PendingReassembly: n.reassembly.Pending(),
-		ReassemblyDrops:   n.reassembly.Drops(),
-		ReassemblyExpired: n.reassembly.Expired(),
-		TapWriteErrors:    n.tapWriteErrors.Load(),
+		Served:             n.Served(),
+		Parser:             n.parser.Stats(),
+		DRAMReads:          n.store.DRAM.Reads(),
+		DRAMReadBytes:      n.store.DRAM.ReadBytes(),
+		DRAMFaultedReads:   n.store.DRAM.FaultedReads(),
+		TxFrames:           n.link.TxFrames(),
+		TxBytes:            n.link.TxBytes(),
+		PendingReassembly:  n.reassembly.Pending(),
+		ReassemblyDrops:    n.reassembly.Drops(),
+		ReassemblyExpired:  n.reassembly.Expired(),
+		TapWriteErrors:     n.tapWriteErrors.Load(),
+		ModelInstalls:      n.installs.Load(),
+		ModelInstallErrors: n.installErrors.Load(),
 		Serve: ServeDrops{
 			QueueFull:      n.queueFullDrops.Load(),
 			Shed:           n.shedDrops.Load(),
@@ -477,7 +482,12 @@ func New(cfg Config) (*NIC, error) {
 			loader: dagloader.NewLoaderWithStore(engine, store),
 			core:   core,
 			index:  i,
-			window: make([]bool, cfg.HealthWindow),
+			breaker: health.NewBreaker(health.Config{
+				Window:     cfg.HealthWindow,
+				Threshold:  cfg.HealthThreshold,
+				ProbeEvery: cfg.ProbeEvery,
+				Trials:     probationTrials,
+			}),
 		}
 	}
 	ttl := cfg.ReassemblyTTL
@@ -488,20 +498,18 @@ func New(cfg Config) (*NIC, error) {
 		cfg.Batch.MaxDelay = nic.DefaultBatchDelay
 	}
 	n := &NIC{
-		parser:          nic.NewParser(),
-		link:            nic.NewLink(),
-		reassembly:      nic.NewReassemblerTTL(256, ttl),
-		store:           store,
-		shards:          shards,
-		admission:       cfg.Admission,
-		healthWindow:    cfg.HealthWindow,
-		healthThreshold: cfg.HealthThreshold,
-		probeEvery:      cfg.ProbeEvery,
-		probeTolerance:  cfg.ProbeTolerance,
-		relockAttempts:  cfg.RelockAttempts,
-		relockBackoff:   cfg.RelockBackoff,
-		drainTimeout:    cfg.DrainTimeout,
-		closing:         make(chan struct{}),
+		parser:         nic.NewParser(),
+		link:           nic.NewLink(),
+		reassembly:     nic.NewReassemblerTTL(256, ttl),
+		store:          store,
+		shards:         shards,
+		admission:      cfg.Admission,
+		allowInstall:   cfg.AllowModelInstall,
+		probeTolerance: cfg.ProbeTolerance,
+		relockAttempts: cfg.RelockAttempts,
+		relockBackoff:  cfg.RelockBackoff,
+		drainTimeout:   cfg.DrainTimeout,
+		closing:        make(chan struct{}),
 	}
 	if cfg.Batch.Enabled() {
 		n.batcher = nic.NewBatcher(cfg.Batch, n.execBatch)
@@ -582,7 +590,52 @@ func (n *NIC) HandleMessage(msg *Message) (*Response, error) {
 	if !done {
 		return nil, nil
 	}
+	if msg.Flags&nic.FlagControl != 0 {
+		// The control flag survives fragmentation (FragmentFlags), so the
+		// completing fragment carries it here.
+		return n.handleControl(msg.RequestID, modelID, query)
+	}
 	return n.serveAssembled(msg.RequestID, modelID, query)
+}
+
+// ErrInstallDisabled rejects wire model installs on a NIC that was not
+// built with Config.AllowModelInstall.
+var ErrInstallDisabled = fmt.Errorf("lightning: wire model install disabled (Config.AllowModelInstall)")
+
+// handleControl serves one reassembled control-plane message. Every outcome
+// is acked: success with a plain response, rejection with an Err-flagged one,
+// so the coordinator never hangs on a silently dropped install.
+func (n *NIC) handleControl(requestID uint32, modelID uint16, payload []byte) (*Response, error) {
+	fail := func(err error) (*Response, error) {
+		n.installErrors.Add(1)
+		return &Response{RequestID: requestID, ModelID: modelID, Err: true}, err
+	}
+	op, body, err := nic.ParseControl(payload)
+	if err != nil {
+		return fail(err)
+	}
+	switch op {
+	case nic.CtrlInstallModel:
+		if !n.allowInstall {
+			return fail(ErrInstallDisabled)
+		}
+		q, err := nn.ReadQuantized(bytes.NewReader(body))
+		if err != nil {
+			return fail(fmt.Errorf("lightning: decoding model install: %w", err))
+		}
+		if _, known := n.store.Model(modelID); known {
+			err = n.UpdateModel(modelID, q)
+		} else {
+			err = n.RegisterModel(modelID, fmt.Sprintf("wire-install-%d", modelID), q)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		n.installs.Add(1)
+		return &Response{RequestID: requestID, ModelID: modelID}, nil
+	default:
+		return fail(fmt.Errorf("lightning: unknown control op %d", op))
+	}
 }
 
 // serveAssembled runs one fully-reassembled query through the datapath —

@@ -31,3 +31,51 @@ func SyntheticHalvesModel(width int) *TrainedModel {
 		}},
 	}
 }
+
+// SyntheticDeepHalvesModel is SyntheticHalvesModel stretched to depth
+// layers: the first layer reduces the query to its two half-sums, and each
+// further layer passes both codes through an identity diagonal. The answers
+// stay as checkable as the shallow model's, but the network now has layers
+// to cut, which is what the cluster plane's pipeline partitioning needs — a
+// one-layer model cannot span two nodes.
+//
+// Requantization shifts are chosen to keep the two codes near query scale
+// at every boundary: layer 0 divides its half-sum accumulators by the half
+// width (so a bright half of 200s re-emerges as a ~200 code), and the
+// identity layers shift by zero, since the engine's full-scale gain already
+// maps a single-product dot back onto input scale. Anything coarser decays
+// the codes toward zero each hop and the final softmax collapses to a tie.
+func SyntheticDeepHalvesModel(width, depth int) *TrainedModel {
+	if depth < 1 {
+		depth = 1
+	}
+	m := SyntheticHalvesModel(width)
+	if depth == 1 {
+		return m
+	}
+	m.Layers[0].Final = false
+	m.Layers[0].Shift = ceilLog2(width / 2)
+	for l := 1; l < depth; l++ {
+		m.Sizes = append(m.Sizes, 2)
+		m.Layers = append(m.Layers, nn.QuantizedLayer{
+			Weights: [][]fixed.Signed{
+				{{Mag: 255}, {}},
+				{{}, {Mag: 255}},
+			},
+			Bias:   []fixed.Acc{0, 0},
+			Shift:  0,
+			Final:  l == depth-1,
+			WScale: fixed.Scale{Max: 1},
+		})
+	}
+	return m
+}
+
+// ceilLog2 returns the smallest s with 2^s >= n (0 for n <= 1).
+func ceilLog2(n int) uint {
+	s := uint(0)
+	for v := 1; v < n; v <<= 1 {
+		s++
+	}
+	return s
+}

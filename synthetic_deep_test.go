@@ -1,0 +1,42 @@
+package lightning
+
+import "testing"
+
+// TestSyntheticDeepHalvesModelStaysSharp pins the numerics that make the
+// deep synthetic model a usable correctness oracle: at every depth the
+// class must track the bright half AND the softmax must stay decisive.
+// If a requantization shift decays the two codes toward zero per hop, the
+// final probabilities collapse toward a 128/128 tie and downstream chaos
+// suites lose their ability to tell correct chaining from garbage.
+func TestSyntheticDeepHalvesModelStaysSharp(t *testing.T) {
+	for _, width := range []int{16, 32, 48} {
+		for depth := 1; depth <= 6; depth++ {
+			n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.RegisterModel(40, "deep", SyntheticDeepHalvesModel(width, depth)); err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range []struct {
+				brightFirst bool
+				want        uint16
+			}{{true, 0}, {false, 1}} {
+				resp, err := n.HandleMessage(&Message{RequestID: 1, ModelID: 40, Payload: halvesQuery(width, tc.brightFirst)})
+				if err != nil || resp.Err {
+					t.Fatalf("width %d depth %d: resp=%+v err=%v", width, depth, resp, err)
+				}
+				if resp.Class != tc.want {
+					t.Errorf("width %d depth %d brightFirst=%v: class %d, want %d (probs %v)",
+						width, depth, tc.brightFirst, resp.Class, tc.want, resp.Probs)
+				}
+				lo, hi := resp.Probs[tc.want], resp.Probs[1-tc.want]
+				if int(lo)-int(hi) < 100 {
+					t.Errorf("width %d depth %d brightFirst=%v: probs %v too close — oracle has no margin",
+						width, depth, tc.brightFirst, resp.Probs)
+				}
+			}
+			n.Close()
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -286,6 +287,19 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 		if !done {
 			continue
 		}
+		if msg.Flags&nic.FlagControl != 0 {
+			// Control traffic (model installs) is rare and cheap relative to
+			// inference, so it is served on the reader, bypassing admission —
+			// a full inference queue must not starve a coordinator re-plan.
+			resp, _ := n.handleControl(msg.RequestID, modelID, query)
+			_ = encodeTo(resp.ToMessage(), func(out []byte) error {
+				if _, werr := pc.WriteTo(out, addr); werr != nil {
+					n.writeErrors.Add(1)
+				}
+				return nil
+			})
+			continue
+		}
 		if msg.Flags&nic.FlagFragment == 0 {
 			// An unfragmented query aliases the shared read buffer; copy it
 			// out before queueing. Reassembled queries already own their
@@ -349,6 +363,24 @@ type Client struct {
 	// RetryBackoff is the wait before the first retry, doubling each
 	// attempt (default 50ms when Retries > 0).
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default 1s): without a
+	// cap a deep retry schedule grows the wait without bound, which turns a
+	// transient server stall into a multi-minute client hang.
+	RetryBackoffMax time.Duration
+	// JitterSeed seeds the retry jitter stream. Each backoff wait is drawn
+	// uniformly from [base/2, base]: synchronized clients (a fleet retrying
+	// after the same server blip) decorrelate instead of retrying in
+	// lockstep and re-creating the overload that timed them out. Zero
+	// derives a per-client seed from the socket's local address, so
+	// concurrent clients jitter differently by default while a test that
+	// fixes the seed replays the exact schedule.
+	JitterSeed uint64
+
+	// rng drives the retry jitter, built lazily under mu.
+	rng *rand.Rand
+	// sleep is the backoff wait, injectable so the backoff regression test
+	// records the schedule instead of sleeping it out (nil = time.Sleep).
+	sleep func(time.Duration)
 }
 
 // Dial connects a client to a serving NIC's UDP address.
@@ -381,11 +413,20 @@ func (c *Client) Infer(modelID uint16, payload []Code) (*Response, time.Duration
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	maxBackoff := c.RetryBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			c.sleepFor(c.jitterDelay(backoff))
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
 		}
 		resp, rtt, err := c.attempt(modelID, raw)
 		if err != nil {
@@ -402,6 +443,39 @@ func (c *Client) Infer(modelID uint16, payload []Code) (*Response, time.Duration
 		return resp, rtt, nil
 	}
 	return nil, 0, fmt.Errorf("lightning: no response after %d attempt(s): %w", attempts, lastErr)
+}
+
+// jitterDelay draws this attempt's actual wait, uniform in [base/2, base].
+// Caller holds mu (the rng is shared client state).
+func (c *Client) jitterDelay(base time.Duration) time.Duration {
+	if c.rng == nil {
+		seed := c.JitterSeed
+		if seed == 0 {
+			// Derive a per-client seed from the socket's local address (the
+			// ephemeral port makes it distinct per client) rather than the
+			// wall clock, so fixed-seed runs stay reproducible end to end.
+			seed = 14695981039346656037 // FNV-64a offset basis
+			for s := c.conn.LocalAddr().String(); len(s) > 0; s = s[1:] {
+				seed ^= uint64(s[0])
+				seed *= 1099511628211
+			}
+		}
+		c.rng = rand.New(rand.NewPCG(seed, uint64(nic.WireMagic)))
+	}
+	half := base / 2
+	if half <= 0 {
+		return base
+	}
+	return half + time.Duration(c.rng.Int64N(int64(half)+1))
+}
+
+// sleepFor waits out one backoff delay through the injectable seam.
+func (c *Client) sleepFor(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // attempt performs one send-and-wait round trip.
