@@ -73,6 +73,11 @@ func main() {
 	admitWeights := flag.String("admit-weights", "", "per-model service weights as id:weight pairs, comma-separated (empty = equal)")
 	drainTimeout := flag.Duration("drain-timeout", 0, "bound on the shutdown drain of in-flight work (0 = default 5s)")
 	allowInstall := flag.Bool("allow-install", false, "accept wire model installs (CtrlInstallModel) — required for cluster nodes behind lightning-coordinator")
+	rxBatch := flag.Int("rx-batch", 0, "datagrams per batched read — one recvmmsg on the Linux fast path (0 = default 16)")
+	txLinger := flag.Duration("tx-linger", 0, "worker-pool responses wait up to this long to share a batched write (0 = write through immediately)")
+	txCoalesce := flag.Bool("tx-coalesce", false, "pack same-destination responses as concatenated frames in one datagram (receivers must unpack coalesced frames)")
+	wireMTU := flag.Int("wire-mtu", 0, "datagram byte bound for -tx-coalesce packing (0 = default 1400)")
+	wireFallback := flag.Bool("wire-fallback", false, "force the portable single-message wire path (no recvmmsg/sendmmsg)")
 	flag.Parse()
 
 	admission := lightning.AdmissionConfig{MaxQueue: *admitQueue, Budget: *admitBudget}
@@ -152,6 +157,13 @@ func main() {
 		Admission:         admission,
 		DrainTimeout:      *drainTimeout,
 		AllowModelInstall: *allowInstall,
+		Wire: lightning.WireConfig{
+			RxBatch:       *rxBatch,
+			TxLinger:      *txLinger,
+			TxCoalesce:    *txCoalesce,
+			MTU:           *wireMTU,
+			ForceFallback: *wireFallback,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -220,6 +232,19 @@ func main() {
 		}
 		if m.ModelInstalls > 0 || m.ModelInstallErrors > 0 {
 			line += fmt.Sprintf(" | installs %d (%d rejected)", m.ModelInstalls, m.ModelInstallErrors)
+		}
+		if s := m.Serve; s.RxBatchSize.Count > 0 || s.TxBatchSize.Count > 0 {
+			line += fmt.Sprintf(" | wire: rx-batch mean %.1f, tx-batch mean %.1f, syscalls rx %d tx %d",
+				s.RxBatchSize.Mean(), s.TxBatchSize.Mean(), s.RxSyscalls, s.TxSyscalls)
+			if m.Served > 0 && s.RxSyscalls+s.TxSyscalls > 0 {
+				line += fmt.Sprintf(" (%.2f/query)", float64(s.RxSyscalls+s.TxSyscalls)/float64(m.Served))
+			}
+			if s.CoalescedFrames > 0 || s.OversizedCoalesce > 0 {
+				line += fmt.Sprintf(", coalesced frames %d (oversized drops %d)", s.CoalescedFrames, s.OversizedCoalesce)
+			}
+			if s.DeadlineErrors > 0 {
+				line += fmt.Sprintf(", deadline-err %d", s.DeadlineErrors)
+			}
 		}
 		if b := m.Batch; b.Queries > 0 || m.BatchPending > 0 {
 			line += fmt.Sprintf(" | batch: %d queries / %d flushes (full %d, timer %d, drain %d), max %d, pending %d",

@@ -54,6 +54,16 @@ func Set() []Benchmark {
 			F:    ServeBatchCores(cores),
 		})
 	}
+	for _, batch := range WireBatchSweep {
+		s = append(s, Benchmark{
+			Name: WireServeName(batch),
+			F:    WireServe(batch),
+		})
+	}
+	s = append(s, Benchmark{
+		Name: WireServeFallbackName(WireFallbackBatch),
+		F:    WireServeFallback(WireFallbackBatch),
+	})
 	return s
 }
 

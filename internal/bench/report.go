@@ -19,6 +19,9 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// Extra carries the benchmark's b.ReportMetric values — the wire
+	// benchmarks report "syscalls/query" and "fastpath" through it.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // ScalingPoint is one shard count of the cores-scaling series.
@@ -39,10 +42,23 @@ type BatchPoint struct {
 	SpeedupVsBatch1 float64 `json:"speedup_vs_batch1"`
 }
 
+// WirePoint is one offered-batch-size point of the wire-batching series:
+// cost and amortized server syscalls per query when the client offers
+// queries in batched groups of Batch over live loopback UDP.
+type WirePoint struct {
+	Batch            int     `json:"batch"`
+	NsPerQuery       float64 `json:"ns_per_query"`
+	SyscallsPerQuery float64 `json:"syscalls_per_query"`
+	// FastPath records whether the server took the recvmmsg/sendmmsg path;
+	// false on non-Linux hosts or when the point forced the fallback.
+	FastPath bool `json:"fast_path"`
+}
+
 // Report is the JSON document lightning-bench emits (BENCH_PR5.json's
-// schema; BENCH_PR6.json adds batch_scaling). Baseline results, when
-// supplied, ride along verbatim with the derived per-benchmark speedups, so
-// one file carries the before/after pair.
+// schema; BENCH_PR6.json adds batch_scaling, BENCH_PR10.json adds
+// wire_batching and wire_fallback). Baseline results, when supplied, ride
+// along verbatim with the derived per-benchmark speedups, so one file
+// carries the before/after pair.
 type Report struct {
 	SchemaVersion int                `json:"schema_version"`
 	GoVersion     string             `json:"go_version"`
@@ -53,6 +69,8 @@ type Report struct {
 	Results       []Result           `json:"results"`
 	CoresScaling  []ScalingPoint     `json:"cores_scaling,omitempty"`
 	BatchScaling  []BatchPoint       `json:"batch_scaling,omitempty"`
+	WireBatching  []WirePoint        `json:"wire_batching,omitempty"`
+	WireFallback  *WirePoint         `json:"wire_fallback,omitempty"`
 	Baseline      []Result           `json:"baseline,omitempty"`
 	SpeedupVsBase map[string]float64 `json:"speedup_vs_baseline,omitempty"`
 }
@@ -79,6 +97,12 @@ func Run(bm Benchmark, benchtime string) (Result, error) {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		res.Extra = map[string]float64{}
+		for k, v := range r.Extra {
+			res.Extra[k] = v
+		}
 	}
 	if r.Bytes > 0 && r.T > 0 {
 		res.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
@@ -119,7 +143,38 @@ func RunSet(name, benchtime string, progress io.Writer) (*Report, error) {
 	}
 	rep.CoresScaling = deriveScaling(rep.Results)
 	rep.BatchScaling = deriveBatchScaling(rep.Results)
+	rep.WireBatching, rep.WireFallback = deriveWireBatching(rep.Results)
 	return rep, nil
+}
+
+// deriveWireBatching extracts the wire-batching series (and the fallback
+// comparison point) from the flat results.
+func deriveWireBatching(results []Result) ([]WirePoint, *WirePoint) {
+	toPoint := func(batch int, r Result) WirePoint {
+		return WirePoint{
+			Batch:            batch,
+			NsPerQuery:       r.NsPerOp,
+			SyscallsPerQuery: r.Extra[MetricSyscallsPerQuery],
+			FastPath:         r.Extra[MetricFastPath] > 0,
+		}
+	}
+	var pts []WirePoint
+	for _, batch := range WireBatchSweep {
+		want := WireServeName(batch)
+		for _, r := range results {
+			if r.Name == want {
+				pts = append(pts, toPoint(batch, r))
+			}
+		}
+	}
+	var fb *WirePoint
+	for _, r := range results {
+		if r.Name == WireServeFallbackName(WireFallbackBatch) {
+			p := toPoint(WireFallbackBatch, r)
+			fb = &p
+		}
+	}
+	return pts, fb
 }
 
 // deriveBatchScaling extracts the batch-scaling series from the flat

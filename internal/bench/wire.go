@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	lightning "github.com/lightning-smartnic/lightning"
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// WireBatchSweep is the offered-batch-size series the wire-batching
+// benchmarks sweep: how many queries the client puts on the wire per batched
+// write. The report derives its wire_batching section from these points.
+var WireBatchSweep = []int{1, 2, 4, 8, 16}
+
+// WireFallbackBatch is the offered batch the portable-fallback comparison
+// point runs at, pairing with the same fast-path point so the report carries
+// the recvmmsg/sendmmsg win explicitly.
+const WireFallbackBatch = 8
+
+// Extra metric keys the wire benchmarks report (via b.ReportMetric), carried
+// through Result.Extra into the JSON report.
+const (
+	// MetricSyscallsPerQuery is the server's amortized (rx+tx) syscalls per
+	// served query, counted at the BatchConn seam — no strace involved.
+	MetricSyscallsPerQuery = "syscalls/query"
+	// MetricFastPath is 1 when the server's conn took the recvmmsg/sendmmsg
+	// fast path, 0 on the portable fallback.
+	MetricFastPath = "fastpath"
+)
+
+// WireServeName names one point of the wire-batching series.
+func WireServeName(batch int) string {
+	return "WireServe/batch=" + strconv.Itoa(batch)
+}
+
+// WireServeFallbackName names the forced portable-fallback comparison point.
+func WireServeFallbackName(batch int) string {
+	return "WireServeFallback/batch=" + strconv.Itoa(batch)
+}
+
+// WireServe returns the wire-batching benchmark for one offered batch size:
+// b.N single-datagram queries round-trip a live ServeUDP loop over loopback
+// UDP, offered in pipelined groups of `batch` (one batched write per group,
+// depth two so the server's batched reads always find datagrams queued).
+// ns/op is the end-to-end cost per query including the client; the server's
+// amortized syscalls per query ride along as the "syscalls/query" metric.
+func WireServe(batch int) func(*testing.B) { return wireServe(batch, false) }
+
+// WireServeFallback is WireServe with the server and client forced onto the
+// portable single-message fallback — the before measurement the fast path
+// is judged against.
+func WireServeFallback(batch int) func(*testing.B) { return wireServe(batch, true) }
+
+func wireServe(batch int, fallback bool) func(*testing.B) {
+	return func(b *testing.B) {
+		const width = 64
+		n, err := lightning.New(lightning.Config{
+			Lanes: 2, Noiseless: true, Seed: 1,
+			Wire: lightning.WireConfig{ForceFallback: fallback},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.RegisterModel(1, "halves", lightning.SyntheticHalvesModel(width)); err != nil {
+			b.Fatal(err)
+		}
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		served := make(chan error, 1)
+		go func() { served <- n.ServeUDP(ctx, pc) }()
+		conn, err := net.Dial("udp", pc.LocalAddr().String())
+		if err != nil {
+			pc.Close()
+			b.Fatal(err)
+		}
+		var bc netbatch.BatchConn
+		if fallback {
+			bc = netbatch.WrapConnFallback(conn, nil)
+		} else {
+			bc = netbatch.WrapConn(conn, nil)
+		}
+		defer func() {
+			// Cancel first and let the serve loop notice on its deadline
+			// tick; closing the socket under it would turn shutdown into a
+			// fatal read error.
+			cancel()
+			if serr := <-served; serr != nil {
+				b.Error(serr)
+			}
+			conn.Close()
+			pc.Close()
+		}()
+
+		payload := make([]byte, width)
+		for i := 0; i < width/2; i++ {
+			payload[i] = 200
+		}
+		var txBuf []byte
+		var offs []int
+		var wire []netbatch.Message
+		var id uint32
+		sendGroup := func(k int) error {
+			txBuf, offs = txBuf[:0], offs[:0]
+			for j := 0; j < k; j++ {
+				id++
+				m := nic.Message{RequestID: id, ModelID: 1, Payload: payload}
+				offs = append(offs, len(txBuf))
+				var eerr error
+				if txBuf, eerr = m.AppendEncode(txBuf); eerr != nil {
+					return eerr
+				}
+			}
+			wire = wire[:0]
+			for j, off := range offs {
+				end := len(txBuf)
+				if j+1 < len(offs) {
+					end = offs[j+1]
+				}
+				wire = append(wire, netbatch.Message{Buf: txBuf[off:end], N: end - off})
+			}
+			ms := wire
+			for len(ms) > 0 {
+				sent, werr := bc.WriteBatch(ms)
+				ms = ms[sent:]
+				if werr != nil {
+					return werr
+				}
+			}
+			return nil
+		}
+		rx := netbatch.MakeMessages(2*batch, 2048)
+		countFrames := func(data []byte) int {
+			c := 0
+			for len(data) > 0 {
+				var m nic.Message
+				consumed, derr := m.DecodeNext(data)
+				if derr != nil {
+					break
+				}
+				data = data[consumed:]
+				c++
+			}
+			return c
+		}
+
+		before := n.Metrics()
+		b.ResetTimer()
+		sent, recvd := 0, 0
+		for recvd < b.N {
+			// Keep one group in flight ahead of the reads, so the server's
+			// next batched read finds data queued instead of paying an
+			// empty-socket probe.
+			for sent < b.N && sent-recvd < 2*batch {
+				k := batch
+				if sent+k > b.N {
+					k = b.N - sent
+				}
+				if err := sendGroup(k); err != nil {
+					b.Fatal(err)
+				}
+				sent += k
+			}
+			// Watchdog only: loopback UDP with bounded in-flight does not
+			// drop, but a hung benchmark must still fail rather than wedge.
+			//lint:allow clockinject benchmark watchdog deadline, not datapath behaviour
+			if err := bc.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+				b.Fatal(err)
+			}
+			cnt, err := bc.ReadBatch(rx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < cnt; j++ {
+				recvd += countFrames(rx[j].Bytes())
+			}
+		}
+		b.StopTimer()
+		after := n.Metrics()
+		rxCalls := after.Serve.RxSyscalls - before.Serve.RxSyscalls
+		txCalls := after.Serve.TxSyscalls - before.Serve.TxSyscalls
+		if b.N > 0 {
+			b.ReportMetric(float64(rxCalls+txCalls)/float64(b.N), MetricSyscallsPerQuery)
+		}
+		fast := 0.0
+		if !fallback && netbatch.FastPathAvailable() {
+			fast = 1.0
+		}
+		b.ReportMetric(fast, MetricFastPath)
+	}
+}

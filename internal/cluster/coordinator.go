@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/lightning-smartnic/lightning/internal/health"
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 	"github.com/lightning-smartnic/lightning/internal/nn"
 )
@@ -132,6 +133,9 @@ type Coordinator struct {
 	replans, hedges, hopRetries atomic.Uint64
 	installs, installErrors     atomic.Uint64
 	decodeErrors, writeErrors   atomic.Uint64
+
+	// wireCtr tallies front-door batched-I/O syscalls (internal/netbatch).
+	wireCtr netbatch.Counters
 
 	reassembly *nic.Reassembler
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 )
 
@@ -32,6 +33,10 @@ func (errCallTimeout) Temporary() bool { return true }
 type nodeClient struct {
 	addr string
 	conn net.Conn
+	// bc is the batched view of conn: a scatter hop's whole fragment train
+	// leaves in one WriteBatch, and the reader drains several response
+	// datagrams per batched read.
+	bc netbatch.BatchConn
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -53,6 +58,7 @@ func dialNode(addr string) (*nodeClient, error) {
 	nc := &nodeClient{
 		addr:    addr,
 		conn:    conn,
+		bc:      netbatch.WrapConn(conn, nil),
 		waiters: make(map[uint32]chan *nic.Response),
 		done:    make(chan struct{}),
 		dead:    make(chan struct{}),
@@ -66,9 +72,9 @@ func dialNode(addr string) (*nodeClient, error) {
 // forces by closing the conn.
 func (nc *nodeClient) readLoop() {
 	defer close(nc.dead)
-	buf := make([]byte, 65536)
+	ms := netbatch.MakeMessages(16, 65536)
 	for {
-		n, err := nc.conn.Read(buf)
+		cnt, err := nc.bc.ReadBatch(ms)
 		if err != nil {
 			select {
 			case <-nc.done:
@@ -81,10 +87,22 @@ func (nc *nodeClient) readLoop() {
 			}
 			return
 		}
-		var msg nic.Message
-		if derr := msg.Decode(buf[:n]); derr != nil {
-			continue // damaged datagram: the waiting call times out and retries
+		for i := 0; i < cnt; i++ {
+			nc.dispatchDatagram(ms[i].Bytes())
 		}
+	}
+}
+
+// dispatchDatagram walks one rx datagram's coalesced response frames and
+// hands each to its waiting call.
+func (nc *nodeClient) dispatchDatagram(data []byte) {
+	for len(data) > 0 {
+		var msg nic.Message
+		consumed, derr := msg.DecodeNext(data)
+		if derr != nil {
+			return // damaged datagram: the waiting call times out and retries
+		}
+		data = data[consumed:]
 		if !msg.IsResponse() {
 			continue
 		}
@@ -131,12 +149,29 @@ func (nc *nodeClient) call(ctx context.Context, flags uint8, modelID uint16, pay
 	if err != nil {
 		return nil, err
 	}
+	// Encode every fragment back to back and put the whole train on the wire
+	// in one batched write — a scatter hop costs one sendmmsg, not one
+	// syscall per fragment. Scratch is per-call: calls run concurrently.
+	var buf []byte
+	offs := make([]int, 0, len(msgs))
 	for _, m := range msgs {
-		out, eerr := m.Encode()
-		if eerr != nil {
-			return nil, eerr
+		offs = append(offs, len(buf))
+		if buf, err = m.AppendEncode(buf); err != nil {
+			return nil, err
 		}
-		if _, werr := nc.conn.Write(out); werr != nil {
+	}
+	wire := make([]netbatch.Message, len(offs))
+	for i, off := range offs {
+		end := len(buf)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		wire[i] = netbatch.Message{Buf: buf[off:end], N: end - off}
+	}
+	for len(wire) > 0 {
+		sent, werr := nc.bc.WriteBatch(wire)
+		wire = wire[sent:]
+		if werr != nil {
 			return nil, fmt.Errorf("cluster: sending to %s: %w", nc.addr, werr)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/lightning-smartnic/lightning/internal/health"
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 )
 
@@ -16,16 +17,27 @@ import (
 // cadence the NIC serve loops use.
 const readTick = 100 * time.Millisecond
 
+// Front-door batch parameters, mirroring the NIC serve loops: rxBatch
+// datagrams per batched read, each slot sized for the max UDP datagram.
+const (
+	rxBatch      = 16
+	rxMsgBufSize = 65536
+)
+
 // ServeUDP is the cluster's front door: it speaks the exact wire protocol a
 // single NIC does (so clients, including cmd/lightning-loadgen, need no
 // changes), reassembles fragmented queries, and runs each through the
-// pipeline on a worker pool. Responses carry Config.ModelID; requests for
-// any other model get an Err-flagged response. The loop exits on context
-// cancellation (returning nil once the workers drain) or a fatal read error.
+// pipeline on a worker pool. Ingest is batched through internal/netbatch —
+// one recvmmsg drains up to rxBatch datagrams on the Linux fast path, and
+// each datagram may pack several coalesced query frames. Responses carry
+// Config.ModelID; requests for any other model get an Err-flagged response.
+// The loop exits on context cancellation (returning nil once the workers
+// drain) or a fatal read error.
 func (c *Coordinator) ServeUDP(ctx context.Context, pc net.PacketConn, workers int) error {
 	if workers < 1 {
 		workers = 1
 	}
+	bc := netbatch.Wrap(pc, &c.wireCtr)
 	type job struct {
 		requestID uint32
 		query     []byte
@@ -40,7 +52,7 @@ func (c *Coordinator) ServeUDP(ctx context.Context, pc net.PacketConn, workers i
 			for j := range jobs {
 				resp, _ := c.Infer(ctx, j.query) // the Err flag rides in the response
 				resp.RequestID = j.requestID
-				c.writeResponse(pc, j.addr, resp)
+				c.writeResponse(bc, j.addr, resp)
 			}
 		}()
 	}
@@ -49,9 +61,39 @@ func (c *Coordinator) ServeUDP(ctx context.Context, pc net.PacketConn, workers i
 		wg.Wait()
 	}()
 
-	buf := make([]byte, 65536)
+	handleFrame := func(msg *nic.Message, addr net.Addr) {
+		if msg.IsResponse() {
+			return
+		}
+		query, modelID, done, rerr := c.reassembly.Offer(msg)
+		if rerr != nil {
+			c.writeResponse(bc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true})
+			return
+		}
+		if !done {
+			return
+		}
+		if modelID != c.cfg.ModelID {
+			c.writeResponse(bc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: modelID, Err: true})
+			return
+		}
+		if msg.Flags&nic.FlagFragment == 0 {
+			// Unfragmented queries alias the shared read buffer; the worker
+			// needs its own copy. Reassembled queries already own theirs.
+			query = append([]byte(nil), query...)
+		}
+		select {
+		case jobs <- job{requestID: msg.RequestID, query: query, addr: addr}:
+		default:
+			// Workers saturated: shed at ingress, honestly.
+			c.writeResponse(bc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: modelID, Err: true})
+			c.degraded.Add(1)
+		}
+	}
+
+	ms := netbatch.MakeMessages(rxBatch, rxMsgBufSize)
 	for {
-		if err := pc.SetReadDeadline(c.now().Add(readTick)); err != nil {
+		if err := bc.SetReadDeadline(c.now().Add(readTick)); err != nil {
 			c.writeErrors.Add(1)
 			select {
 			case <-ctx.Done():
@@ -59,7 +101,7 @@ func (c *Coordinator) ServeUDP(ctx context.Context, pc net.PacketConn, workers i
 			default:
 			}
 		}
-		sz, addr, err := pc.ReadFrom(buf)
+		cnt, err := bc.ReadBatch(ms)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -73,51 +115,35 @@ func (c *Coordinator) ServeUDP(ctx context.Context, pc net.PacketConn, workers i
 			}
 			return err
 		}
-		var msg nic.Message
-		if derr := msg.Decode(buf[:sz]); derr != nil {
-			c.decodeErrors.Add(1)
-			continue
-		}
-		if msg.IsResponse() {
-			continue
-		}
-		query, modelID, done, rerr := c.reassembly.Offer(&msg)
-		if rerr != nil {
-			c.writeResponse(pc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true})
-			continue
-		}
-		if !done {
-			continue
-		}
-		if modelID != c.cfg.ModelID {
-			c.writeResponse(pc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: modelID, Err: true})
-			continue
-		}
-		if msg.Flags&nic.FlagFragment == 0 {
-			// Unfragmented queries alias the shared read buffer; the worker
-			// needs its own copy. Reassembled queries already own theirs.
-			query = append([]byte(nil), query...)
-		}
-		select {
-		case jobs <- job{requestID: msg.RequestID, query: query, addr: addr}:
-		default:
-			// Workers saturated: shed at ingress, honestly.
-			c.writeResponse(pc, addr, &nic.Response{RequestID: msg.RequestID, ModelID: modelID, Err: true})
-			c.degraded.Add(1)
+		for i := 0; i < cnt; i++ {
+			// Walk the datagram's coalesced frames; a malformed frame ends
+			// the walk (strict length-prefix policy, same as the NIC).
+			data := ms[i].Bytes()
+			for len(data) > 0 {
+				var msg nic.Message
+				consumed, derr := msg.DecodeNext(data)
+				if derr != nil {
+					c.decodeErrors.Add(1)
+					break
+				}
+				data = data[consumed:]
+				handleFrame(&msg, ms[i].Addr)
+			}
 		}
 	}
 }
 
-// writeResponse encodes and sends one response, counting (never fatally
-// surfacing) write failures — one unreachable client must not stop the
-// front door.
-func (c *Coordinator) writeResponse(pc net.PacketConn, addr net.Addr, resp *nic.Response) {
-	out, err := resp.ToMessage().Encode()
+// writeResponse encodes and sends one response through the batch seam,
+// counting (never fatally surfacing) write failures — one unreachable client
+// must not stop the front door.
+func (c *Coordinator) writeResponse(bc netbatch.BatchConn, addr net.Addr, resp *nic.Response) {
+	out, err := nic.AppendResponseFrame(nil, resp)
 	if err != nil {
 		c.writeErrors.Add(1)
 		return
 	}
-	if _, werr := pc.WriteTo(out, addr); werr != nil {
+	one := [1]netbatch.Message{{Buf: out, N: len(out), Addr: addr}}
+	if _, werr := bc.WriteBatch(one[:]); werr != nil {
 		c.writeErrors.Add(1)
 	}
 }
@@ -152,6 +178,9 @@ type Metrics struct {
 	Installs, InstallErrors uint64
 	// DecodeErrors and WriteErrors count front-door datagram failures.
 	DecodeErrors, WriteErrors uint64
+	// RxSyscalls and TxSyscalls count front-door batched-read and -write
+	// syscalls; divide Served by them for the amortized syscalls/query.
+	RxSyscalls, TxSyscalls uint64
 	// Nodes holds one snapshot per configured node, in Config.Nodes order.
 	Nodes []NodeMetrics
 }
@@ -169,6 +198,8 @@ func (c *Coordinator) Metrics() Metrics {
 		InstallErrors: c.installErrors.Load(),
 		DecodeErrors:  c.decodeErrors.Load(),
 		WriteErrors:   c.writeErrors.Load(),
+		RxSyscalls:    c.wireCtr.ReadCalls.Load(),
+		TxSyscalls:    c.wireCtr.WriteCalls.Load(),
 	}
 	if p := c.plan.Load(); p != nil {
 		m.Epoch = p.epoch

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 )
 
 // Addr is the placeholder net.Addr the stub conns report.
@@ -38,7 +40,11 @@ type StubConn struct {
 	mu    sync.Mutex
 	queue [][]byte
 
-	writes atomic.Uint64
+	writes        atomic.Uint64
+	deadlineCalls atomic.Uint64
+
+	// sent records outbound datagram payloads when RecordWrites is set.
+	sent [][]byte
 
 	// FailWrites makes every WriteTo return an error. Set before serving.
 	FailWrites bool
@@ -49,6 +55,13 @@ type StubConn struct {
 	// a fatal (non-timeout) socket failure under a serve loop, where the
 	// default empty-queue behaviour is a timeout. Set before serving.
 	ReadErr error
+	// RecordWrites keeps a copy of every successful outbound datagram for
+	// Sent() — the differential wire tests compare response byte streams
+	// with it. Set before serving.
+	RecordWrites bool
+	// MaxReadBatch caps how many datagrams one ReadBatch call drains
+	// (0 = no cap): rx-batch-size distribution tests shape bursts with it.
+	MaxReadBatch int
 }
 
 // NewStubConn builds a stub conn preloaded with the given datagrams.
@@ -67,8 +80,85 @@ func (c *StubConn) Enqueue(d []byte) {
 	c.mu.Unlock()
 }
 
-// Writes returns the count of successful WriteTo calls.
+// Writes returns the count of successful WriteTo calls (batched writes
+// count once per message, so the tally stays one-per-response either way).
 func (c *StubConn) Writes() uint64 { return c.writes.Load() }
+
+// DeadlineCalls returns how many times SetReadDeadline was armed — the
+// per-batch-deadline regression test's probe.
+func (c *StubConn) DeadlineCalls() uint64 { return c.deadlineCalls.Load() }
+
+// Sent returns copies of the recorded outbound datagrams (RecordWrites).
+func (c *StubConn) Sent() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.sent))
+	for i, d := range c.sent {
+		out[i] = append([]byte(nil), d...)
+	}
+	return out
+}
+
+// record appends one outbound payload under mu when recording is on.
+func (c *StubConn) record(p []byte) {
+	if !c.RecordWrites {
+		return
+	}
+	c.mu.Lock()
+	c.sent = append(c.sent, append([]byte(nil), p...))
+	c.mu.Unlock()
+}
+
+// ReadBatch implements netbatch's native batch interface: it drains up to
+// len(ms) queued datagrams in one call (deterministically — whatever is
+// queued right now is one "burst"), with the same empty-queue semantics as
+// ReadFrom: ReadErr if set, otherwise a timeout after a short sleep.
+func (c *StubConn) ReadBatch(ms []netbatch.Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	if len(c.queue) == 0 {
+		err := c.ReadErr
+		c.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		time.Sleep(time.Millisecond)
+		return 0, ErrTimeout
+	}
+	n := 0
+	limit := len(ms)
+	if c.MaxReadBatch > 0 && c.MaxReadBatch < limit {
+		limit = c.MaxReadBatch
+	}
+	for n < limit && len(c.queue) > 0 {
+		d := c.queue[0]
+		c.queue = c.queue[1:]
+		ms[n].N = copy(ms[n].Buf, d)
+		ms[n].Addr = Addr{}
+		n++
+	}
+	c.mu.Unlock()
+	return n, nil
+}
+
+// WriteBatch implements netbatch's native batch interface with WriteTo's
+// fault semantics per message: the first refused write stops the batch and
+// reports how many preceded it.
+func (c *StubConn) WriteBatch(ms []netbatch.Message) (int, error) {
+	for i := range ms {
+		if c.WriteDelay > 0 {
+			time.Sleep(c.WriteDelay)
+		}
+		if c.FailWrites {
+			return i, errors.New("fault: write refused")
+		}
+		c.record(ms[i].Buf[:ms[i].N])
+		c.writes.Add(1)
+	}
+	return len(ms), nil
+}
 
 // ReadFrom implements net.PacketConn: it pops the next queued datagram, or
 // times out (after a short sleep, so cancelled serve loops spin gently) —
@@ -99,6 +189,7 @@ func (c *StubConn) WriteTo(p []byte, _ net.Addr) (int, error) {
 	if c.FailWrites {
 		return 0, errors.New("fault: write refused")
 	}
+	c.record(p)
 	c.writes.Add(1)
 	return len(p), nil
 }
@@ -112,8 +203,12 @@ func (c *StubConn) LocalAddr() net.Addr { return Addr{} }
 // SetDeadline implements net.PacketConn.
 func (c *StubConn) SetDeadline(time.Time) error { return nil }
 
-// SetReadDeadline implements net.PacketConn.
-func (c *StubConn) SetReadDeadline(time.Time) error { return nil }
+// SetReadDeadline implements net.PacketConn, counting each arm so tests
+// can assert the serve loop's once-per-batch deadline cadence.
+func (c *StubConn) SetReadDeadline(time.Time) error {
+	c.deadlineCalls.Add(1)
+	return nil
+}
 
 // SetWriteDeadline implements net.PacketConn.
 func (c *StubConn) SetWriteDeadline(time.Time) error { return nil }

@@ -23,8 +23,22 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 	"github.com/lightning-smartnic/lightning/internal/stats"
+)
+
+// Wire-batching parameters: the driver speaks through internal/netbatch, so
+// backlog bursts leave in one sendmmsg and the receivers drain several
+// responses per recvmmsg on the Linux fast path.
+const (
+	// burstMax caps how many behind-schedule arrivals accumulate into one
+	// batched write before the sender flushes.
+	burstMax = 16
+	// rxBatch is each receiver's batch width; rxBufSize each slot's buffer
+	// (the max UDP datagram, so no legal response truncates).
+	rxBatch   = 16
+	rxBufSize = 65536
 )
 
 // Arrival processes.
@@ -155,8 +169,22 @@ type pendingEntry struct {
 // socket's receiver off a global lock.
 type connState struct {
 	conn    net.Conn
+	bc      netbatch.BatchConn
 	mu      sync.Mutex
 	pending map[uint32]pendingEntry
+}
+
+// burst accumulates behind-schedule arrivals bound for one socket so they
+// leave in a single batched write. All storage is retained across flushes.
+type burst struct {
+	cs     *connState
+	buf    []byte
+	offs   []int
+	ids    []uint32
+	models []uint16
+	msgs   []netbatch.Message
+	// seq rotates burst destinations over the sockets.
+	seq int
 }
 
 type generator struct {
@@ -240,7 +268,11 @@ func Run(cfg Config) (*Result, error) {
 			}
 			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
 		}
-		g.conns = append(g.conns, &connState{conn: conn, pending: map[uint32]pendingEntry{}})
+		g.conns = append(g.conns, &connState{
+			conn:    conn,
+			bc:      netbatch.WrapConn(conn, nil),
+			pending: map[uint32]pendingEntry{},
+		})
 	}
 
 	var wg sync.WaitGroup
@@ -318,7 +350,7 @@ func (g *generator) send(totalWeight int) {
 	start := g.now()
 	var cum float64 // scheduled nanoseconds since start
 	var id uint32
-	var scratch []byte
+	var b burst
 	for {
 		if g.cfg.Dist == DistFixed {
 			cum += interval
@@ -330,64 +362,168 @@ func (g *generator) send(totalWeight int) {
 		}
 		// Open loop: sleep until the scheduled arrival. If we are behind,
 		// send immediately — the backlog burst is part of the offered load,
-		// not an excuse to thin it.
+		// not an excuse to thin it. Consecutive behind-schedule arrivals
+		// accumulate and leave in one batched write (one sendmmsg on the
+		// fast path) instead of one syscall each, so the sender itself
+		// saturates later.
 		if d := start.Add(time.Duration(cum)).Sub(g.now()); d > 0 {
+			g.flushBurst(&b)
 			time.Sleep(d)
 		}
 		id++
 		spec := g.pick(totalWeight)
-		cs := g.conns[int(id)%len(g.conns)]
-		cs.mu.Lock()
-		cs.pending[id] = pendingEntry{model: spec.ID, sentAt: g.now()}
-		cs.mu.Unlock()
-		err := g.write(cs.conn, id, spec.ID, payloads[spec.ID], &scratch)
-		g.mu.Lock()
-		if err != nil {
-			g.res.WriteErrors++
-		} else {
-			g.res.Offered++
-			g.res.PerModel[spec.ID].Sent++
-		}
-		g.mu.Unlock()
-		if err != nil {
-			cs.mu.Lock()
-			delete(cs.pending, id)
-			cs.mu.Unlock()
+		g.queueArrival(&b, id, spec.ID, payloads[spec.ID])
+		if len(b.ids) >= burstMax {
+			g.flushBurst(&b)
 		}
 	}
+	g.flushBurst(&b)
 	g.mu.Lock()
 	g.res.Elapsed = g.now().Sub(start)
 	g.mu.Unlock()
 }
 
-// write encodes one query — fragmenting when the payload exceeds a
-// datagram — and puts it on the wire, reusing the caller's scratch buffer.
-func (g *generator) write(conn net.Conn, id uint32, model uint16, payload []byte, scratch *[]byte) error {
-	if len(payload) <= nic.MaxFragPayload {
-		msg := nic.Message{RequestID: id, ModelID: model, Payload: payload}
-		out, err := msg.AppendEncode((*scratch)[:0])
-		if err != nil {
-			return err
-		}
-		*scratch = out[:0]
-		_, err = conn.Write(out)
-		return err
+// queueArrival encodes one query onto the open burst. Queries too large for
+// one datagram flush the burst and travel as their own fragment batch.
+func (g *generator) queueArrival(b *burst, id uint32, model uint16, payload []byte) {
+	if len(payload) > nic.MaxFragPayload {
+		g.flushBurst(b)
+		g.sendFragmented(id, model, payload)
+		return
 	}
+	if b.cs == nil {
+		b.cs = g.conns[b.seq%len(g.conns)]
+		b.seq++
+	}
+	msg := nic.Message{RequestID: id, ModelID: model, Payload: payload}
+	off := len(b.buf)
+	out, err := msg.AppendEncode(b.buf)
+	if err != nil {
+		// Unencodable query (payload past the wire's length field): it never
+		// reaches the socket, which is a write error by the books.
+		g.mu.Lock()
+		g.res.WriteErrors++
+		g.mu.Unlock()
+		return
+	}
+	b.buf = out
+	b.offs = append(b.offs, off)
+	b.ids = append(b.ids, id)
+	b.models = append(b.models, model)
+}
+
+// flushBurst registers the burst's requests in-flight and writes every
+// datagram through one batched write, attributing per-message outcomes the
+// way the single-write path did: a sent message is offered, a refused one is
+// a write error and leaves no pending entry.
+func (g *generator) flushBurst(b *burst) {
+	if len(b.ids) == 0 {
+		b.cs = nil
+		return
+	}
+	cs := b.cs
+	b.msgs = b.msgs[:0]
+	for i, off := range b.offs {
+		end := len(b.buf)
+		if i+1 < len(b.offs) {
+			end = b.offs[i+1]
+		}
+		b.msgs = append(b.msgs, netbatch.Message{Buf: b.buf[off:end], N: end - off})
+	}
+	now := g.now()
+	cs.mu.Lock()
+	for i, id := range b.ids {
+		cs.pending[id] = pendingEntry{model: b.models[i], sentAt: now}
+	}
+	cs.mu.Unlock()
+	ms := b.msgs
+	base := 0
+	for len(ms) > 0 {
+		sent, err := cs.bc.WriteBatch(ms)
+		g.mu.Lock()
+		for i := base; i < base+sent; i++ {
+			g.res.Offered++
+			g.res.PerModel[b.models[i]].Sent++
+		}
+		g.mu.Unlock()
+		base += sent
+		ms = ms[sent:]
+		if err != nil {
+			if len(ms) == 0 {
+				break
+			}
+			// ms[0] was refused: count it, unregister it, keep the rest
+			// of the burst moving.
+			g.mu.Lock()
+			g.res.WriteErrors++
+			g.mu.Unlock()
+			cs.mu.Lock()
+			delete(cs.pending, b.ids[base])
+			cs.mu.Unlock()
+			base++
+			ms = ms[1:]
+		}
+	}
+	b.cs = nil
+	b.buf = b.buf[:0]
+	b.offs = b.offs[:0]
+	b.ids = b.ids[:0]
+	b.models = b.models[:0]
+}
+
+// sendFragmented puts one over-sized query on the wire as a fragment burst:
+// every fragment encodes back to back and the whole train leaves in one
+// batched write. Any refused fragment voids the query (the server's
+// reassembly TTL reaps the partial), so it books as a write error.
+func (g *generator) sendFragmented(id uint32, model uint16, payload []byte) {
+	cs := g.conns[int(id)%len(g.conns)]
 	frags, err := nic.Fragment(id, model, payload, nic.MaxFragPayload)
 	if err != nil {
-		return err
+		g.mu.Lock()
+		g.res.WriteErrors++
+		g.mu.Unlock()
+		return
 	}
+	var buf []byte
+	var offs []int
 	for _, f := range frags {
-		out, err := f.AppendEncode((*scratch)[:0])
-		if err != nil {
-			return err
-		}
-		*scratch = out[:0]
-		if _, err := conn.Write(out); err != nil {
-			return err
+		offs = append(offs, len(buf))
+		if buf, err = f.AppendEncode(buf); err != nil {
+			g.mu.Lock()
+			g.res.WriteErrors++
+			g.mu.Unlock()
+			return
 		}
 	}
-	return nil
+	msgs := make([]netbatch.Message, len(offs))
+	for i, off := range offs {
+		end := len(buf)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		msgs[i] = netbatch.Message{Buf: buf[off:end], N: end - off}
+	}
+	cs.mu.Lock()
+	cs.pending[id] = pendingEntry{model: model, sentAt: g.now()}
+	cs.mu.Unlock()
+	ms := msgs
+	for len(ms) > 0 {
+		sent, werr := cs.bc.WriteBatch(ms)
+		ms = ms[sent:]
+		if werr != nil {
+			g.mu.Lock()
+			g.res.WriteErrors++
+			g.mu.Unlock()
+			cs.mu.Lock()
+			delete(cs.pending, id)
+			cs.mu.Unlock()
+			return
+		}
+	}
+	g.mu.Lock()
+	g.res.Offered++
+	g.res.PerModel[model].Sent++
+	g.mu.Unlock()
 }
 
 // pick draws the next model from the mix, weight-proportionally.
@@ -407,11 +543,13 @@ func (g *generator) pick(totalWeight int) ModelSpec {
 }
 
 // receive drains one socket until it is closed, attributing every response
-// to its in-flight request.
+// to its in-flight request. Reads are batched — one recvmmsg drains several
+// response datagrams on the fast path — and each datagram may pack several
+// coalesced response frames (a TxCoalesce server).
 func (g *generator) receive(cs *connState) {
-	buf := make([]byte, 64*1024)
+	ms := netbatch.MakeMessages(rxBatch, rxBufSize)
 	for {
-		n, err := cs.conn.Read(buf)
+		cnt, err := cs.bc.ReadBatch(ms)
 		if err != nil {
 			// Closed at end of run, or a transient ICMP-unreachable bounce;
 			// either way this socket's run is over when closed, and a
@@ -421,13 +559,24 @@ func (g *generator) receive(cs *connState) {
 			}
 			continue
 		}
+		for i := 0; i < cnt; i++ {
+			g.handleDatagram(cs, ms[i].Bytes())
+		}
+	}
+}
+
+// handleDatagram walks one rx datagram's coalesced response frames.
+func (g *generator) handleDatagram(cs *connState, data []byte) {
+	for len(data) > 0 {
 		var msg nic.Message
-		if err := msg.Decode(buf[:n]); err != nil {
+		consumed, err := msg.DecodeNext(data)
+		if err != nil {
 			g.mu.Lock()
 			g.res.DecodeErrors++
 			g.mu.Unlock()
-			continue
+			return
 		}
+		data = data[consumed:]
 		if !msg.IsResponse() {
 			continue
 		}

@@ -1,0 +1,352 @@
+//go:build linux && (amd64 || arm64)
+
+package netbatch
+
+import (
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// The Linux fast path: recvmmsg/sendmmsg move a whole batch of datagrams
+// per syscall. The raw syscalls run inside syscall.RawConn read/write
+// closures with MSG_DONTWAIT, so the runtime netpoller still owns blocking:
+// an EAGAIN parks the goroutine on the poller exactly like a blocking
+// ReadFrom would, SetReadDeadline works unchanged, and a close wakes the
+// waiter. Every syscall — including the EAGAIN probes — lands in Counters,
+// so syscalls-per-query accounting is honest about the polling cost too.
+
+// mmsghdr mirrors the kernel's struct mmsghdr on 64-bit Linux: a msghdr
+// plus the per-message byte count. The explicit trailing pad keeps the
+// 8-byte stride the kernel walks; the amd64/arm64 build constraint is what
+// makes this layout — and the raw syscall numbers — correct, so 32-bit
+// targets take the portable fallback instead of a corrupted header array.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	nlen uint32
+	_    [4]byte
+}
+
+func fastPathAvailable() bool { return true }
+
+// internKey identifies one remote endpoint for rx-address interning.
+type internKey struct {
+	ip   [16]byte
+	zone uint32
+	port uint16
+	fam  uint16
+}
+
+// maxIntern bounds the rx address-intern map; past it the map is cleared
+// rather than grown, so a port-scanning flood cannot leak memory. Interned
+// addresses are pointer-stable across reads, which both keeps the steady
+// state allocation-free and lets tx batchers key per-destination state on
+// the Addr value itself.
+const maxIntern = 4096
+
+// mmsgScratch is one direction's syscall scaffolding: parallel header,
+// iovec and sockaddr arrays, resized to the largest batch seen.
+type mmsgScratch struct {
+	hdrs   []mmsghdr
+	iovecs []syscall.Iovec
+	names  []syscall.RawSockaddrInet6
+}
+
+// grow resizes the scratch to hold n messages (cold: runs only when a
+// larger batch than ever before arrives).
+func (s *mmsgScratch) grow(n int) {
+	s.hdrs = make([]mmsghdr, n)
+	s.iovecs = make([]syscall.Iovec, n)
+	s.names = make([]syscall.RawSockaddrInet6, n)
+}
+
+// mmsgConn is the recvmmsg/sendmmsg BatchConn over a *net.UDPConn. Each
+// direction is serialized by its own mutex (the scratch arrays are shared
+// state); rd/wr fields pass batch parameters into the stored RawConn
+// closures, which cannot take arguments.
+type mmsgConn struct {
+	rc          syscall.RawConn
+	setDeadline func(time.Time) error
+	ctr         *Counters
+
+	rdMu   sync.Mutex
+	rd     mmsgScratch
+	rdFn   func(fd uintptr) bool
+	rdWant int
+	rdN    int
+	rdErr  syscall.Errno
+	intern map[internKey]net.Addr
+
+	wrMu  sync.Mutex
+	wr    mmsgScratch
+	wrFn  func(fd uintptr) bool
+	wrOff int
+	wrLen int
+	wrN   int
+	wrErr syscall.Errno
+}
+
+// newMmsg builds the fast path over uc, or nil if the raw conn is not
+// available (the caller falls back).
+func newMmsg(uc *net.UDPConn, ctr *Counters) BatchConn {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	c := &mmsgConn{
+		rc:          rc,
+		setDeadline: uc.SetReadDeadline,
+		ctr:         ctr,
+		intern:      make(map[internKey]net.Addr),
+	}
+	// The closures are bound once here so the hot ReadBatch/WriteBatch
+	// bodies never construct a func value per call.
+	c.rdFn = c.recvmmsg
+	c.wrFn = c.sendmmsg
+	return c
+}
+
+func (c *mmsgConn) FastPath() bool { return true }
+
+func (c *mmsgConn) SetReadDeadline(t time.Time) error { return c.setDeadline(t) }
+
+// recvmmsg is the RawConn read closure: one recvmmsg syscall per poll
+// wake-up, retried through EINTR; EAGAIN returns false to park on the
+// netpoller.
+//
+//lint:hotpath
+func (c *mmsgConn) recvmmsg(fd uintptr) bool {
+	for {
+		n, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&c.rd.hdrs[0])), uintptr(c.rdWant),
+			syscall.MSG_DONTWAIT, 0, 0)
+		c.ctr.ReadCalls.Add(1)
+		switch e {
+		case 0:
+			c.rdN = int(n)
+			c.rdErr = 0
+			return true
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			c.rdN = 0
+			c.rdErr = e
+			return true
+		}
+	}
+}
+
+// ReadBatch drains up to len(ms) datagrams in one syscall, blocking on the
+// netpoller for the first. Message buffers must be non-empty.
+//
+//lint:hotpath
+func (c *mmsgConn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.rdMu.Lock()
+	defer c.rdMu.Unlock()
+	if len(ms) > len(c.rd.hdrs) {
+		c.rd.grow(len(ms))
+	}
+	for i := range ms {
+		c.rd.iovecs[i].Base = &ms[i].Buf[0]
+		c.rd.iovecs[i].Len = uint64(len(ms[i].Buf))
+		h := &c.rd.hdrs[i]
+		h.hdr.Name = (*byte)(unsafe.Pointer(&c.rd.names[i]))
+		h.hdr.Namelen = uint32(unsafe.Sizeof(c.rd.names[i]))
+		h.hdr.Iov = &c.rd.iovecs[i]
+		h.hdr.Iovlen = 1
+		h.nlen = 0
+	}
+	c.rdWant = len(ms)
+	if err := c.rc.Read(c.rdFn); err != nil {
+		return 0, err
+	}
+	if c.rdErr != 0 {
+		return 0, errnoErr("recvmmsg", c.rdErr)
+	}
+	n := c.rdN
+	for i := 0; i < n; i++ {
+		ms[i].N = int(c.rd.hdrs[i].nlen)
+		ms[i].Addr = c.addrOf(&c.rd.names[i], c.rd.hdrs[i].hdr.Namelen)
+	}
+	c.ctr.RxMsgs.Add(uint64(n))
+	return n, nil
+}
+
+// addrOf interns one raw source sockaddr (caller holds rdMu).
+//
+//lint:hotpath
+func (c *mmsgConn) addrOf(ra *syscall.RawSockaddrInet6, nlen uint32) net.Addr {
+	var k internKey
+	k.fam = ra.Family
+	// Port sits in network byte order in the raw sockaddr; reading it
+	// bytewise is endian-correct everywhere.
+	po := (*[2]byte)(unsafe.Pointer(&ra.Port))
+	k.port = uint16(po[0])<<8 | uint16(po[1])
+	switch {
+	case ra.Family == syscall.AF_INET && nlen >= syscall.SizeofSockaddrInet4:
+		r4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(ra))
+		copy(k.ip[:4], r4.Addr[:])
+	case ra.Family == syscall.AF_INET6 && nlen >= syscall.SizeofSockaddrInet6:
+		k.ip = ra.Addr
+		k.zone = ra.Scope_id
+	}
+	if a, ok := c.intern[k]; ok {
+		return a
+	}
+	return c.internMiss(k)
+}
+
+// internMiss materializes and caches a UDPAddr for a new endpoint (cold:
+// once per remote peer, or per flood-triggered reset).
+func (c *mmsgConn) internMiss(k internKey) net.Addr {
+	ua := &net.UDPAddr{Port: int(k.port)}
+	if k.fam == syscall.AF_INET {
+		ua.IP = append(net.IP(nil), k.ip[:4]...)
+	} else {
+		ua.IP = append(net.IP(nil), k.ip[:]...)
+	}
+	if len(c.intern) >= maxIntern {
+		clear(c.intern)
+	}
+	c.intern[k] = ua
+	return ua
+}
+
+// sendmmsg is the RawConn write closure: one sendmmsg syscall per poll
+// wake-up over the not-yet-sent tail of the batch.
+//
+//lint:hotpath
+func (c *mmsgConn) sendmmsg(fd uintptr) bool {
+	for {
+		n, _, e := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&c.wr.hdrs[c.wrOff])), uintptr(c.wrLen),
+			syscall.MSG_DONTWAIT, 0, 0)
+		c.ctr.WriteCalls.Add(1)
+		switch e {
+		case 0:
+			c.wrN = int(n)
+			c.wrErr = 0
+			return true
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			c.wrN = 0
+			c.wrErr = e
+			return true
+		}
+	}
+}
+
+// emptyByte anchors the iovec of a zero-length datagram.
+var emptyByte byte
+
+// WriteBatch flushes ms in one sendmmsg (looping only on partial sends). A
+// nil Addr sends to the connected peer; an Addr that is not a *net.UDPAddr
+// stops the batch before it with errBadAddr after flushing the prefix.
+//
+//lint:hotpath
+func (c *mmsgConn) WriteBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	c.wrMu.Lock()
+	defer c.wrMu.Unlock()
+	if len(ms) > len(c.wr.hdrs) {
+		c.wr.grow(len(ms))
+	}
+	limit := len(ms)
+	badAddr := false
+	for i := range ms {
+		if ms[i].N > 0 {
+			c.wr.iovecs[i].Base = &ms[i].Buf[0]
+		} else {
+			c.wr.iovecs[i].Base = &emptyByte
+		}
+		c.wr.iovecs[i].Len = uint64(ms[i].N)
+		h := &c.wr.hdrs[i]
+		h.hdr.Iov = &c.wr.iovecs[i]
+		h.hdr.Iovlen = 1
+		h.nlen = 0
+		if ms[i].Addr == nil {
+			h.hdr.Name = nil
+			h.hdr.Namelen = 0
+			continue
+		}
+		nl, ok := putSockaddr(&c.wr.names[i], ms[i].Addr)
+		if !ok {
+			limit = i
+			badAddr = true
+			break
+		}
+		h.hdr.Name = (*byte)(unsafe.Pointer(&c.wr.names[i]))
+		h.hdr.Namelen = nl
+	}
+	sent := 0
+	for sent < limit {
+		c.wrOff = sent
+		c.wrLen = limit - sent
+		if err := c.rc.Write(c.wrFn); err != nil {
+			return sent, err
+		}
+		if c.wrErr != 0 {
+			return sent, errnoErr("sendmmsg", c.wrErr)
+		}
+		if c.wrN <= 0 {
+			// A zero-progress success would loop forever; surface it.
+			return sent, errNoProgress
+		}
+		c.ctr.TxMsgs.Add(uint64(c.wrN))
+		sent += c.wrN
+	}
+	if badAddr {
+		return sent, errBadAddr
+	}
+	return sent, nil
+}
+
+// putSockaddr encodes a *net.UDPAddr into a raw sockaddr, returning its
+// length. Non-UDP addrs report false (the fast path only ever sees UDP
+// peers; anything else is a caller bug surfaced as errBadAddr).
+//
+//lint:hotpath
+func putSockaddr(ra *syscall.RawSockaddrInet6, addr net.Addr) (uint32, bool) {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		return 0, false
+	}
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		r4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(ra))
+		r4.Family = syscall.AF_INET
+		po := (*[2]byte)(unsafe.Pointer(&r4.Port))
+		po[0] = byte(ua.Port >> 8)
+		po[1] = byte(ua.Port)
+		copy(r4.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, true
+	}
+	if len(ua.IP) != net.IPv6len {
+		return 0, false
+	}
+	ra.Family = syscall.AF_INET6
+	po := (*[2]byte)(unsafe.Pointer(&ra.Port))
+	po[0] = byte(ua.Port >> 8)
+	po[1] = byte(ua.Port)
+	copy(ra.Addr[:], ua.IP)
+	ra.Scope_id = 0
+	return syscall.SizeofSockaddrInet6, true
+}
+
+// errnoErr wraps a raw errno. Deliberately not hotpath-marked: it runs only
+// on the failure path and may allocate.
+func errnoErr(op string, e syscall.Errno) error {
+	return os.NewSyscallError(op, e)
+}

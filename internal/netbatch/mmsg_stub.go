@@ -1,0 +1,13 @@
+//go:build !linux || !(amd64 || arm64)
+
+package netbatch
+
+import "net"
+
+// No multi-message syscall fast path on this platform: Wrap falls back to
+// the portable single-message loop (the mmsghdr layout and raw syscall
+// numbers in mmsg_linux.go are only correct on 64-bit Linux).
+
+func fastPathAvailable() bool { return false }
+
+func newMmsg(*net.UDPConn, *Counters) BatchConn { return nil }

@@ -1,0 +1,12 @@
+//go:build linux && amd64
+
+package netbatch
+
+import "syscall"
+
+// The stdlib syscall table was frozen before sendmmsg landed on amd64, so
+// the numbers are pinned here per architecture (x86-64 syscall ABI).
+const (
+	sysRecvmmsg uintptr = syscall.SYS_RECVMMSG // 299
+	sysSendmmsg uintptr = 307
+)

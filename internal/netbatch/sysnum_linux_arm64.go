@@ -1,0 +1,11 @@
+//go:build linux && arm64
+
+package netbatch
+
+import "syscall"
+
+// arm64 uses the generic syscall table, where the stdlib defines both.
+const (
+	sysRecvmmsg uintptr = syscall.SYS_RECVMMSG // 243
+	sysSendmmsg uintptr = syscall.SYS_SENDMMSG // 269
+)

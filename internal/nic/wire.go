@@ -114,6 +114,19 @@ func (m *Message) Decode(data []byte) error {
 	return nil
 }
 
+// DecodeNext parses the first Lightning frame from data — which may carry
+// several concatenated frames (wire-level frame coalescing: a sender packs
+// small queries into one datagram) — and returns how many bytes the frame
+// consumed, so the caller can walk the remainder. The length-prefix
+// validation is strict: a frame whose declared payload overruns the
+// remaining bytes is an error, never a partial decode.
+func (m *Message) DecodeNext(data []byte) (int, error) {
+	if err := m.Decode(data); err != nil {
+		return 0, err
+	}
+	return WireHeaderLen + len(m.Payload), nil
+}
+
 // Encode serializes the message.
 func (m *Message) Encode() ([]byte, error) {
 	out, err := m.AppendEncode(make([]byte, 0, WireHeaderLen+len(m.Payload)))
@@ -159,6 +172,35 @@ func (r *Response) ToMessage() *Message {
 	copy(payload[2:], r.Probs)
 	return &Message{Flags: flags, RequestID: r.RequestID, ModelID: r.ModelID, Payload: payload}
 }
+
+// AppendResponseFrame encodes r as a complete wire frame into dst's spare
+// capacity — ToMessage followed by AppendEncode, without materializing the
+// intermediate Message or its payload copy. The serve path's per-destination
+// tx batcher packs frames with it; equivalence with the two-step encoding is
+// pinned by TestAppendResponseFrameMatchesToMessage. Like AppendEncode it
+// appends (growth amortizes into the caller's pooled buffer), so it carries
+// no hotpath marker.
+func AppendResponseFrame(dst []byte, r *Response) ([]byte, error) {
+	plen := 2 + len(r.Probs)
+	if plen > 0xffff {
+		return dst, errResponseTooLarge
+	}
+	flags := uint8(FlagResponse)
+	if r.Err {
+		flags |= FlagError
+	}
+	dst = binary.BigEndian.AppendUint16(dst, WireMagic)
+	dst = append(dst, WireVersion, flags)
+	dst = binary.BigEndian.AppendUint32(dst, r.RequestID)
+	dst = binary.BigEndian.AppendUint16(dst, r.ModelID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(plen))
+	dst = binary.BigEndian.AppendUint16(dst, r.Class)
+	return append(dst, r.Probs...), nil
+}
+
+// errResponseTooLarge rejects a response payload past the wire's 16-bit
+// length field.
+var errResponseTooLarge = fmt.Errorf("nic: response payload exceeds 64 KiB")
 
 // ParseResponse unpacks a response message.
 func ParseResponse(m *Message) (*Response, error) {

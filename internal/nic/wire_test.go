@@ -178,3 +178,92 @@ func TestBuildResponseFrameReversesTuple(t *testing.T) {
 		t.Errorf("response = %+v", got)
 	}
 }
+
+// TestDecodeNextWalksCoalescedFrames: several concatenated frames in one
+// buffer decode in order, each reporting its exact consumed length.
+func TestDecodeNextWalksCoalescedFrames(t *testing.T) {
+	var buf []byte
+	want := []Message{
+		{RequestID: 1, ModelID: 7, Payload: []byte{1}},
+		{Flags: FlagResponse, RequestID: 2, ModelID: 7, Payload: []byte{0, 0, 9}},
+		{RequestID: 3, ModelID: 8, Payload: nil},
+	}
+	for i := range want {
+		var err error
+		if buf, err = want[i].AppendEncode(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := buf
+	for i := range want {
+		var m Message
+		consumed, err := m.DecodeNext(data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if consumed != WireHeaderLen+len(want[i].Payload) {
+			t.Errorf("frame %d consumed %d, want %d", i, consumed, WireHeaderLen+len(want[i].Payload))
+		}
+		if m.RequestID != want[i].RequestID || m.ModelID != want[i].ModelID || m.Flags != want[i].Flags {
+			t.Errorf("frame %d decoded %+v, want %+v", i, m, want[i])
+		}
+		if !bytes.Equal(m.Payload, want[i].Payload) {
+			t.Errorf("frame %d payload %v, want %v", i, m.Payload, want[i].Payload)
+		}
+		data = data[consumed:]
+	}
+	if len(data) != 0 {
+		t.Errorf("%d bytes left after the walk", len(data))
+	}
+}
+
+// TestDecodeNextRejectsTruncatedTail: a frame whose declared payload
+// overruns the remaining bytes is an error, never a partial decode.
+func TestDecodeNextRejectsTruncatedTail(t *testing.T) {
+	m := Message{RequestID: 1, ModelID: 1, Payload: []byte{1, 2, 3, 4}}
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		var d Message
+		if _, err := d.DecodeNext(buf[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded", cut)
+		}
+	}
+}
+
+// TestAppendResponseFrameMatchesToMessage pins the direct single-pass
+// response encoding against the two-step ToMessage + AppendEncode path,
+// byte for byte, across flag and size variations.
+func TestAppendResponseFrameMatchesToMessage(t *testing.T) {
+	cases := []Response{
+		{RequestID: 1, ModelID: 2, Class: 3, Probs: []uint8{10, 20, 30}},
+		{RequestID: 0xffffffff, ModelID: 0xffff, Class: 0xffff, Probs: nil},
+		{RequestID: 7, ModelID: 7, Class: 0, Probs: make([]uint8, 300), Err: true},
+		{Err: true},
+	}
+	for i, r := range cases {
+		direct, err := AppendResponseFrame(nil, &r)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		twoStep, err := r.ToMessage().Encode()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(direct, twoStep) {
+			t.Errorf("case %d: direct %x != two-step %x", i, direct, twoStep)
+		}
+	}
+	// Oversized responses are refused with dst unmodified.
+	huge := Response{Probs: make([]uint8, 0x10000)}
+	dst := []byte{1, 2, 3}
+	out, err := AppendResponseFrame(dst, &huge)
+	if err == nil {
+		t.Fatal("64 KiB response payload encoded")
+	}
+	if !bytes.Equal(out, dst) {
+		t.Errorf("dst modified on error: %v", out)
+	}
+}

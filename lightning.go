@@ -29,6 +29,7 @@ import (
 	"github.com/lightning-smartnic/lightning/internal/fixed"
 	"github.com/lightning-smartnic/lightning/internal/health"
 	"github.com/lightning-smartnic/lightning/internal/mem"
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 	"github.com/lightning-smartnic/lightning/internal/nn"
 	"github.com/lightning-smartnic/lightning/internal/pcap"
@@ -134,6 +135,11 @@ type Config struct {
 	// shedding — observably equivalent to the historical single job
 	// channel.
 	Admission AdmissionConfig
+	// Wire tunes the batched wire path under the serve loops: rx batch
+	// width, tx linger, coalesced-datagram MTU, and the portable-fallback
+	// override. The zero value resolves to sensible defaults (RxBatch 16,
+	// write-through tx, MTU 1400).
+	Wire WireConfig
 	// DrainTimeout bounds the serve loops' shutdown drain: when a cancelled
 	// ServeUDP/ServeUDPWorkers (or a fatal read error) waits out in-flight
 	// work, a wedged datapath or a recovery loop mid-backoff cannot hang the
@@ -147,6 +153,43 @@ type Config struct {
 	// clients swap its models.
 	AllowModelInstall bool
 }
+
+// WireConfig tunes the batched zero-copy wire path (DESIGN.md §16).
+type WireConfig struct {
+	// RxBatch is how many datagrams one batched read may drain (default
+	// 16). On the Linux fast path that is one recvmmsg syscall per burst;
+	// the portable fallback reads one datagram per call regardless.
+	RxBatch int
+	// TxLinger bounds how long a response may wait in ServeUDPWorkers'
+	// per-destination tx batcher for companions before a background flush
+	// (default 0: write-through, each response flushes immediately). When
+	// admission deadlines are in play, carve the linger from the admission
+	// budget — lingering longer than the client waits is pure loss;
+	// cmd/lightning-serve's -tx-linger flag documents the carve.
+	TxLinger time.Duration
+	// TxCoalesce packs multiple response frames bound for the same
+	// destination into one MTU-bounded datagram (wire-level frame
+	// coalescing on tx). Off by default: clients must speak frame
+	// coalescing to unpack such datagrams, so it is opt-in at the server.
+	// Batched multi-datagram flushes (sendmmsg) happen regardless.
+	TxCoalesce bool
+	// MTU bounds a coalesced tx datagram's payload bytes (default 1400,
+	// matching the fragmenter's conservative Ethernet fit).
+	MTU int
+	// ForceFallback pins the portable single-message path even where the
+	// multi-message fast path exists — the differential-testing override
+	// (the LIGHTNING_NETBATCH=fallback environment toggle does the same
+	// without a rebuild).
+	ForceFallback bool
+}
+
+// defaultRxBatch is the resolved WireConfig.RxBatch: wide enough to drain a
+// saturation-level burst per syscall, narrow enough that one batch's
+// buffers stay cache-resident.
+const defaultRxBatch = 16
+
+// defaultWireMTU bounds coalesced tx datagrams (WireConfig.MTU).
+const defaultWireMTU = 1400
 
 // DefaultConfig matches the §6 prototype.
 func DefaultConfig() Config { return Config{Lanes: 2, Seed: 1} }
@@ -245,6 +288,21 @@ type NIC struct {
 	// shedDrops counts dequeued requests dropped because their latency
 	// budget had already elapsed in queue (deadline-aware shedding).
 	shedDrops atomic.Uint64
+
+	// wire is the resolved Config.Wire policy.
+	wire WireConfig
+	// netCtr receives the batch seam's syscall accounting for every conn
+	// the serve loops wrap (Metrics.Serve.RxSyscalls/TxSyscalls).
+	netCtr netbatch.Counters
+	// rxBatchHist / txBatchHist are the batch-efficacy histograms:
+	// datagrams per batched read, datagrams per tx flush.
+	rxBatchHist sizeHist
+	txBatchHist sizeHist
+	// coalescedFrames counts query frames beyond the first unpacked from
+	// multi-frame rx datagrams; oversizedCoalesce counts malformed
+	// coalesced tails dropped after at least one valid frame.
+	coalescedFrames   atomic.Uint64
+	oversizedCoalesce atomic.Uint64
 
 	// admission is the resolved Config.Admission policy; admit holds the
 	// live Admitter while ServeUDPWorkers runs (queue-depth gauges).
@@ -346,6 +404,24 @@ type ServeDrops struct {
 	// error immediately after), but a persistent count means cancellation
 	// latency is degraded.
 	DeadlineErrors uint64
+	// RxBatchSize and TxBatchSize are bounded histograms of datagrams
+	// moved per batched read and per tx flush — the observability that
+	// says whether wire batching is actually amortizing anything.
+	RxBatchSize SizeHist
+	TxBatchSize SizeHist
+	// CoalescedFrames counts query frames beyond the first unpacked from
+	// multi-frame rx datagrams (wire-level frame coalescing in action).
+	CoalescedFrames uint64
+	// OversizedCoalesce counts malformed coalesced tails dropped after at
+	// least one valid frame in the same datagram: the strict length-prefix
+	// walk refused to serve a partial frame. (A datagram whose first frame
+	// is malformed counts in DecodeErrors instead.)
+	OversizedCoalesce uint64
+	// RxSyscalls and TxSyscalls count batch-seam socket operations
+	// (including poll-probe wakeups on the fast path); Served divided by
+	// their sum is the amortized queries-per-syscall figure the bench
+	// suite gates on.
+	RxSyscalls, TxSyscalls uint64
 }
 
 // Metrics returns a consistent snapshot.
@@ -365,11 +441,17 @@ func (n *NIC) Metrics() Metrics {
 		ModelInstalls:      n.installs.Load(),
 		ModelInstallErrors: n.installErrors.Load(),
 		Serve: ServeDrops{
-			QueueFull:      n.queueFullDrops.Load(),
-			Shed:           n.shedDrops.Load(),
-			DecodeErrors:   n.decodeErrors.Load(),
-			WriteErrors:    n.writeErrors.Load(),
-			DeadlineErrors: n.deadlineErrors.Load(),
+			QueueFull:         n.queueFullDrops.Load(),
+			Shed:              n.shedDrops.Load(),
+			DecodeErrors:      n.decodeErrors.Load(),
+			WriteErrors:       n.writeErrors.Load(),
+			DeadlineErrors:    n.deadlineErrors.Load(),
+			RxBatchSize:       n.rxBatchHist.snapshot(),
+			TxBatchSize:       n.txBatchHist.snapshot(),
+			CoalescedFrames:   n.coalescedFrames.Load(),
+			OversizedCoalesce: n.oversizedCoalesce.Load(),
+			RxSyscalls:        n.netCtr.ReadCalls.Load(),
+			TxSyscalls:        n.netCtr.WriteCalls.Load(),
 		},
 	}
 	n.admitMu.Lock()
@@ -497,6 +579,12 @@ func New(cfg Config) (*NIC, error) {
 	if cfg.Batch.Enabled() && cfg.Batch.MaxDelay <= 0 {
 		cfg.Batch.MaxDelay = nic.DefaultBatchDelay
 	}
+	if cfg.Wire.RxBatch <= 0 {
+		cfg.Wire.RxBatch = defaultRxBatch
+	}
+	if cfg.Wire.MTU <= 0 {
+		cfg.Wire.MTU = defaultWireMTU
+	}
 	n := &NIC{
 		parser:         nic.NewParser(),
 		link:           nic.NewLink(),
@@ -504,6 +592,7 @@ func New(cfg Config) (*NIC, error) {
 		store:          store,
 		shards:         shards,
 		admission:      cfg.Admission,
+		wire:           cfg.Wire,
 		allowInstall:   cfg.AllowModelInstall,
 		probeTolerance: cfg.ProbeTolerance,
 		relockAttempts: cfg.RelockAttempts,

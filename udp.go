@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
 	"github.com/lightning-smartnic/lightning/internal/nic"
 )
 
@@ -75,20 +76,39 @@ func encodeToPooled(encode func(dst []byte) ([]byte, error), write func(out []by
 	return err
 }
 
+// rxMsgBufSize is each batch slot's read-buffer size: the max UDP datagram,
+// matching the historical single-read buffer so no legal datagram truncates.
+const rxMsgBufSize = 65536
+
+// wrapConn wraps a serve socket with the batch seam (internal/netbatch),
+// honoring the Config.Wire fallback override and feeding the NIC's syscall
+// counters (Metrics.Serve.RxSyscalls/TxSyscalls).
+func (n *NIC) wrapConn(pc net.PacketConn) netbatch.BatchConn {
+	if n.wire.ForceFallback {
+		return netbatch.WrapFallback(pc, &n.netCtr)
+	}
+	return netbatch.Wrap(pc, &n.netCtr)
+}
+
 // ServeUDP attaches the NIC to a UDP socket and serves Lightning wire
 // messages until the context is cancelled (requirement R1: live user
-// traffic from remote users). Each datagram carries one wire message; the
-// response returns to the sender's address. Malformed datagrams are dropped
-// and counted (Metrics.Serve.DecodeErrors), as the datapath parser would
-// drop them; failed response writes are likewise counted rather than fatal —
-// one unreachable client must not take the server down. On cancellation the
-// loop stops reading, waits for in-flight datapath work, and returns nil.
+// traffic from remote users). Reads are batched (one recvmmsg drains up to
+// Config.Wire.RxBatch datagrams on the Linux fast path), each rx datagram
+// may pack several concatenated query frames (wire-level frame coalescing),
+// and the batch's responses flush through one batched write. Malformed
+// frames are dropped and counted (DecodeErrors for a bad first frame,
+// OversizedCoalesce for a bad coalesced tail); failed response writes are
+// likewise counted rather than fatal — one unreachable client must not take
+// the server down. On cancellation the loop stops reading, waits for
+// in-flight datapath work, and returns nil.
 func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
-	bufp := rxBufPool.Get().(*[]byte)
-	defer rxBufPool.Put(bufp)
-	buf := *bufp
+	bc := n.wrapConn(pc)
+	ms := netbatch.MakeMessages(n.wire.RxBatch, rxMsgBufSize)
+	tx := newTxBatcher(n, bc)
 	for {
-		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
+		// One deadline arm covers the whole batch read — the per-datagram
+		// arm the single-message loop paid is gone.
+		if err := bc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
 			// Counted, not fatal (Metrics.Serve.DeadlineErrors): a failed
 			// deadline arm usually means the socket is closing, which the
 			// next read surfaces; meanwhile cancellation must still be
@@ -100,7 +120,7 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 			default:
 			}
 		}
-		sz, addr, err := pc.ReadFrom(buf)
+		cnt, err := bc.ReadBatch(ms)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -122,22 +142,45 @@ func (n *NIC) ServeUDP(ctx context.Context, pc net.PacketConn) error {
 			_ = n.drainDetached(ctx)
 			return err
 		}
-		var msg Message
-		if derr := msg.Decode(buf[:sz]); derr != nil {
-			n.decodeErrors.Add(1)
-			continue
+		n.rxBatchHist.observe(cnt)
+		for i := 0; i < cnt; i++ {
+			n.serveDatagram(ms[i].Bytes(), ms[i].Addr, tx)
 		}
+		// Everything this batch produced leaves in one batched write.
+		tx.flush()
+	}
+}
+
+// serveDatagram walks every coalesced frame in one rx datagram through
+// HandleMessage, queueing responses on the tx batcher. The length-prefix
+// walk is strict: a malformed first frame counts a decode error, a
+// malformed tail after at least one valid frame counts OversizedCoalesce —
+// and in both cases the rest of the datagram is dropped without a response,
+// so a partial frame can never be served.
+func (n *NIC) serveDatagram(data []byte, addr net.Addr, tx *txBatcher) {
+	first := true
+	for len(data) > 0 {
+		var msg Message
+		consumed, derr := msg.DecodeNext(data)
+		if derr != nil {
+			if first {
+				n.decodeErrors.Add(1)
+			} else {
+				n.oversizedCoalesce.Add(1)
+			}
+			return
+		}
+		if !first {
+			n.coalescedFrames.Add(1)
+		}
+		first = false
+		data = data[consumed:]
 		resp, herr := n.HandleMessage(&msg)
 		if resp == nil {
 			continue
 		}
 		_ = herr // the error flag rides in the response
-		_ = encodeTo(resp.ToMessage(), func(out []byte) error {
-			if _, werr := pc.WriteTo(out, addr); werr != nil {
-				n.writeErrors.Add(1)
-			}
-			return nil
-		})
+		tx.queue(resp, addr)
 	}
 }
 
@@ -192,8 +235,37 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 	if workers < 1 {
 		workers = 1
 	}
+	bc := n.wrapConn(pc)
+	tx := newTxBatcher(n, bc)
 	admit := nic.NewAdmitter(n.admission, workers*4)
 	n.admit.Store(admit)
+
+	// With a linger budget (Config.Wire.TxLinger), workers queue responses
+	// and a flusher goroutine sweeps them on the linger cadence, so replies
+	// from several workers pack into one batched write; without one, workers
+	// write through immediately — no response ever waits on a timer the
+	// operator did not grant.
+	linger := n.wire.TxLinger
+	var flusherWG sync.WaitGroup
+	var stopFlusher chan struct{}
+	if linger > 0 {
+		stopFlusher = make(chan struct{})
+		flusherWG.Add(1)
+		go func() {
+			defer flusherWG.Done()
+			t := time.NewTicker(linger)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopFlusher:
+					return
+				case <-t.C:
+					tx.flush()
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -213,30 +285,33 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 				if resp == nil {
 					continue
 				}
-				_ = encodeTo(resp.ToMessage(), func(out []byte) error {
-					if _, werr := pc.WriteTo(out, j.addr); werr != nil {
-						n.writeErrors.Add(1)
-					}
-					return nil
-				})
+				if linger > 0 {
+					tx.queue(resp, j.addr)
+				} else {
+					tx.send(resp, j.addr)
+				}
 			}
 		}()
 	}
 	// Drain on exit: close admission, let workers finish every admitted
-	// job and flush its response, then wait out any datapath stragglers.
+	// job, stop the flusher, flush whatever it had not swept, then wait
+	// out any datapath stragglers.
 	defer func() {
 		admit.Close()
 		wg.Wait()
+		if stopFlusher != nil {
+			close(stopFlusher)
+			flusherWG.Wait()
+		}
+		tx.flush()
 		_ = n.drainDetached(ctx)
 	}()
 
-	bufp := rxBufPool.Get().(*[]byte)
-	defer rxBufPool.Put(bufp)
-	buf := *bufp
+	ms := netbatch.MakeMessages(n.wire.RxBatch, rxMsgBufSize)
 	for {
-		if err := pc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
-			// Same policy as ServeUDP: count and keep serving, but never
-			// lose cancellation.
+		// One deadline arm per batch read, same policy as ServeUDP: count
+		// failures and keep serving, but never lose cancellation.
+		if err := bc.SetReadDeadline(time.Now().Add(readTick)); err != nil {
 			n.deadlineErrors.Add(1)
 			select {
 			case <-ctx.Done():
@@ -244,7 +319,7 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 			default:
 			}
 		}
-		sz, addr, err := pc.ReadFrom(buf)
+		cnt, err := bc.ReadBatch(ms)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -258,65 +333,88 @@ func (n *NIC) ServeUDPWorkers(ctx context.Context, pc net.PacketConn, workers in
 			}
 			return err
 		}
+		n.rxBatchHist.observe(cnt)
+		for i := 0; i < cnt; i++ {
+			n.admitDatagram(ms[i].Bytes(), ms[i].Addr, admit, tx)
+		}
+		if linger == 0 {
+			// Reader-side responses (reassembly errors, control acks) leave
+			// with the batch rather than waiting for a worker's flush.
+			tx.flush()
+		}
+	}
+}
+
+// admitDatagram is the reader half of ServeUDPWorkers for one rx datagram:
+// it walks the coalesced frames (same strict length-prefix policy as
+// serveDatagram) and feeds each through reassembly and admission.
+func (n *NIC) admitDatagram(data []byte, addr net.Addr, admit *nic.Admitter, tx *txBatcher) {
+	first := true
+	for len(data) > 0 {
 		var msg Message
-		if derr := msg.Decode(buf[:sz]); derr != nil {
-			n.decodeErrors.Add(1)
-			continue
+		consumed, derr := msg.DecodeNext(data)
+		if derr != nil {
+			if first {
+				n.decodeErrors.Add(1)
+			} else {
+				n.oversizedCoalesce.Add(1)
+			}
+			return
 		}
-		if msg.IsResponse() {
-			// A stray response datagram carries no work; the serial path's
-			// HandleMessage rejects it the same way.
-			continue
+		if !first {
+			n.coalescedFrames.Add(1)
 		}
-		// Reassemble on the reader so admission judges complete queries:
-		// fragment bookkeeping is cheap, and a query rejected at admission
-		// must not leave a partial pinned in the reassembly table.
-		query, modelID, done, rerr := n.reassembly.Offer(&msg)
-		if rerr != nil {
-			// Malformed or inconsistent fragments get the same Err-flagged
-			// response HandleMessage would return.
-			resp := &Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}
-			_ = encodeTo(resp.ToMessage(), func(out []byte) error {
-				if _, werr := pc.WriteTo(out, addr); werr != nil {
-					n.writeErrors.Add(1)
-				}
-				return nil
-			})
-			continue
-		}
-		if !done {
-			continue
-		}
-		if msg.Flags&nic.FlagControl != 0 {
-			// Control traffic (model installs) is rare and cheap relative to
-			// inference, so it is served on the reader, bypassing admission —
-			// a full inference queue must not starve a coordinator re-plan.
-			resp, _ := n.handleControl(msg.RequestID, modelID, query)
-			_ = encodeTo(resp.ToMessage(), func(out []byte) error {
-				if _, werr := pc.WriteTo(out, addr); werr != nil {
-					n.writeErrors.Add(1)
-				}
-				return nil
-			})
-			continue
-		}
-		if msg.Flags&nic.FlagFragment == 0 {
-			// An unfragmented query aliases the shared read buffer; copy it
-			// out before queueing. Reassembled queries already own their
-			// backing array.
-			query = append([]byte(nil), query...)
-		}
-		if !admit.Offer(modelID, wireJob{
-			requestID: msg.RequestID,
-			modelID:   modelID,
-			query:     query,
-			addr:      addr,
-		}) {
-			// Admission reject: the model's queue is at bound — the shards
-			// cannot keep up with this model's arrival rate. Drop at
-			// ingress and account it, per model and in aggregate.
-			n.countAdmissionDrop(modelID)
-		}
+		first = false
+		data = data[consumed:]
+		n.admitFrame(&msg, addr, admit, tx)
+	}
+}
+
+// admitFrame runs one decoded query frame through reassembly, control
+// dispatch, and admission.
+func (n *NIC) admitFrame(msg *Message, addr net.Addr, admit *nic.Admitter, tx *txBatcher) {
+	if msg.IsResponse() {
+		// A stray response datagram carries no work; the serial path's
+		// HandleMessage rejects it the same way.
+		return
+	}
+	// Reassemble on the reader so admission judges complete queries:
+	// fragment bookkeeping is cheap, and a query rejected at admission
+	// must not leave a partial pinned in the reassembly table.
+	query, modelID, done, rerr := n.reassembly.Offer(msg)
+	if rerr != nil {
+		// Malformed or inconsistent fragments get the same Err-flagged
+		// response HandleMessage would return.
+		tx.queue(&Response{RequestID: msg.RequestID, ModelID: msg.ModelID, Err: true}, addr)
+		return
+	}
+	if !done {
+		return
+	}
+	if msg.Flags&nic.FlagControl != 0 {
+		// Control traffic (model installs) is rare and cheap relative to
+		// inference, so it is served on the reader, bypassing admission —
+		// a full inference queue must not starve a coordinator re-plan.
+		resp, _ := n.handleControl(msg.RequestID, modelID, query)
+		tx.queue(resp, addr)
+		return
+	}
+	if msg.Flags&nic.FlagFragment == 0 {
+		// An unfragmented query aliases the shared read buffer; copy it
+		// out before queueing. Reassembled queries already own their
+		// backing array.
+		query = append([]byte(nil), query...)
+	}
+	if !admit.Offer(modelID, wireJob{
+		requestID: msg.RequestID,
+		modelID:   modelID,
+		query:     query,
+		addr:      addr,
+	}) {
+		// Admission reject: the model's queue is at bound — the shards
+		// cannot keep up with this model's arrival rate. Drop at
+		// ingress and account it, per model and in aggregate.
+		n.countAdmissionDrop(modelID)
 	}
 }
 
@@ -381,6 +479,17 @@ type Client struct {
 	// sleep is the backoff wait, injectable so the backoff regression test
 	// records the schedule instead of sleeping it out (nil = time.Sleep).
 	sleep func(time.Duration)
+
+	// bc is the batched view of conn, built lazily under mu so tests that
+	// construct a Client literal still work. A fragmented query's whole
+	// burst leaves in one WriteBatch — one sendmmsg on the fast path.
+	bc netbatch.BatchConn
+	// txBuf/txOffs/txMsgs are retained send scratch: every fragment encodes
+	// into txBuf back to back, txOffs marks the frame boundaries, and txMsgs
+	// is the Message view handed to WriteBatch.
+	txBuf  []byte
+	txOffs []int
+	txMsgs []netbatch.Message
 }
 
 // Dial connects a client to a serving NIC's UDP address.
@@ -488,40 +597,68 @@ func (c *Client) attempt(modelID uint16, raw []byte) (*Response, time.Duration, 
 	if err != nil {
 		return nil, 0, err
 	}
+	if c.bc == nil {
+		c.bc = netbatch.WrapConn(c.conn, nil)
+	}
 	start := time.Now()
+	// Encode every fragment back to back into retained scratch, then hand
+	// the whole burst to one WriteBatch. The Message views are built only
+	// after all encodes so txBuf reallocation cannot orphan a frame.
+	c.txBuf = c.txBuf[:0]
+	c.txOffs = c.txOffs[:0]
 	for _, m := range msgs {
-		if err := encodeTo(m, func(out []byte) error {
-			_, werr := c.conn.Write(out)
-			return werr
-		}); err != nil {
+		c.txOffs = append(c.txOffs, len(c.txBuf))
+		if c.txBuf, err = m.AppendEncode(c.txBuf); err != nil {
 			return nil, 0, err
 		}
 	}
-	if err := c.conn.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+	c.txMsgs = c.txMsgs[:0]
+	for i, off := range c.txOffs {
+		end := len(c.txBuf)
+		if i+1 < len(c.txOffs) {
+			end = c.txOffs[i+1]
+		}
+		c.txMsgs = append(c.txMsgs, netbatch.Message{Buf: c.txBuf[off:end], N: end - off})
+	}
+	if _, err := c.bc.WriteBatch(c.txMsgs); err != nil {
+		return nil, 0, err
+	}
+	if err := c.bc.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
 		return nil, 0, err
 	}
 	bufp := rxBufPool.Get().(*[]byte)
 	defer rxBufPool.Put(bufp)
-	buf := *bufp
+	rx := [1]netbatch.Message{{Buf: *bufp}}
 	for {
-		sz, err := c.conn.Read(buf)
+		cnt, err := c.bc.ReadBatch(rx[:])
 		if err != nil {
 			return nil, 0, err
 		}
-		var reply Message
-		if err := reply.Decode(buf[:sz]); err != nil {
+		if cnt == 0 {
 			continue
 		}
-		if reply.RequestID != id || !reply.IsResponse() {
-			continue // stale datagram
+		// One rx datagram may pack several coalesced response frames (the
+		// server's TxCoalesce mode); walk them for ours. A malformed frame
+		// ends the walk — garbage datagrams were skipped before, too.
+		data := rx[0].Bytes()
+		for len(data) > 0 {
+			var reply Message
+			consumed, derr := reply.DecodeNext(data)
+			if derr != nil {
+				break
+			}
+			data = data[consumed:]
+			if reply.RequestID != id || !reply.IsResponse() {
+				continue // stale frame
+			}
+			resp, perr := nic.ParseResponse(&reply)
+			if perr != nil {
+				return nil, 0, perr
+			}
+			// ParseResponse aliases Probs into the read buffer; copy before
+			// the deferred Put hands that buffer to another goroutine.
+			resp.Probs = append([]uint8(nil), resp.Probs...)
+			return resp, time.Since(start), nil
 		}
-		resp, err := nic.ParseResponse(&reply)
-		if err != nil {
-			return nil, 0, err
-		}
-		// ParseResponse aliases Probs into the read buffer; copy before the
-		// deferred Put hands that buffer to another goroutine.
-		resp.Probs = append([]uint8(nil), resp.Probs...)
-		return resp, time.Since(start), nil
 	}
 }

@@ -1,0 +1,55 @@
+package lightning_test
+
+// The wire-batching acceptance gate lives in the external test package for
+// the same reason bench_trajectory_test.go does: it drives internal/bench
+// (which imports the root package) so `go test` and `lightning-bench`
+// measure exactly the same pipelined loopback driver.
+
+import (
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/bench"
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
+)
+
+// TestWireSyscallsPerQueryGate pins the tentpole's amortization claim: at
+// an offered batch of 8 over loopback UDP, the server's amortized
+// (rx+tx) syscalls per served query stay at or under 0.25 on the
+// recvmmsg/sendmmsg fast path — one batched read plus one batched flush
+// covering eight queries, with margin for empty-socket probes. Syscall
+// counts wobble with scheduling, so the gate retries before failing.
+func TestWireSyscallsPerQueryGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate runs a full benchmark; skipped in -short")
+	}
+	if !netbatch.FastPathAvailable() {
+		t.Skip("recvmmsg/sendmmsg fast path unavailable on this platform")
+	}
+	const limit = 0.25
+	var last float64
+	for attempt := 0; attempt < 3; attempt++ {
+		r := testing.Benchmark(bench.WireServe(8))
+		if r.N == 0 {
+			t.Fatal("wire benchmark completed zero iterations")
+		}
+		if r.Extra[bench.MetricFastPath] != 1 {
+			t.Fatal("benchmark did not take the fast path despite FastPathAvailable")
+		}
+		last = r.Extra[bench.MetricSyscallsPerQuery]
+		if last <= limit {
+			return
+		}
+	}
+	t.Fatalf("amortized syscalls/query = %.3f at offered batch 8, want <= %.2f", last, limit)
+}
+
+func BenchmarkWireServe(b *testing.B) {
+	for _, batch := range bench.WireBatchSweep {
+		b.Run(bench.WireServeName(batch)[len("WireServe/"):], bench.WireServe(batch))
+	}
+}
+
+func BenchmarkWireServeFallback(b *testing.B) {
+	b.Run(bench.WireServeFallbackName(bench.WireFallbackBatch)[len("WireServeFallback/"):],
+		bench.WireServeFallback(bench.WireFallbackBatch))
+}

@@ -1,0 +1,444 @@
+package lightning
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+
+	"github.com/lightning-smartnic/lightning/internal/fault"
+	"github.com/lightning-smartnic/lightning/internal/netbatch"
+	"github.com/lightning-smartnic/lightning/internal/nic"
+)
+
+// countDecodableFrames walks data with the same strict length-prefix policy
+// the serve path uses and returns how many complete frames decode before
+// the first error.
+func countDecodableFrames(data []byte) int {
+	n := 0
+	for len(data) > 0 {
+		var m Message
+		consumed, err := m.DecodeNext(data)
+		if err != nil {
+			return n
+		}
+		data = data[consumed:]
+		n++
+	}
+	return n
+}
+
+// TestServeUDPDeadlineArmsPerBatchNotPerDatagram is the deadline-cadence
+// regression test: the batched serve loop arms the read deadline once per
+// batch read, so the deadline syscalls for N buffered datagrams collapse
+// from ~N (the single-message loop's cost) to ~N/RxBatch.
+func TestServeUDPDeadlineArmsPerBatchNotPerDatagram(t *testing.T) {
+	const width = 64
+	const sent = 64
+	arm := func(fallback bool) (uint64, uint64) {
+		n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 7,
+			Wire: WireConfig{ForceFallback: fallback}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+			t.Fatal(err)
+		}
+		pc := fault.NewStubConn()
+		for i := 0; i < sent; i++ {
+			pc.Enqueue(encodeQuery(t, uint32(i+1), 4, make([]byte, width)))
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // reader drains the whole queue, then exits on the idle tick
+		if err := n.ServeUDP(ctx, pc); err != nil {
+			t.Fatalf("ServeUDP: %v", err)
+		}
+		if got := pc.Writes(); got != sent {
+			t.Fatalf("responses = %d, want %d", got, sent)
+		}
+		return pc.DeadlineCalls(), n.Metrics().Serve.RxBatchSize.Sum
+	}
+	batchArms, batchRx := arm(false)
+	fallbackArms, _ := arm(true)
+	if batchRx != sent {
+		t.Errorf("rx histogram Sum = %d, want %d datagrams", batchRx, sent)
+	}
+	if netbatch.FallbackForced() {
+		// The LIGHTNING_NETBATCH=fallback CI leg forces BOTH runs onto the
+		// single-message path; the cadence reduction is a fast-path claim.
+		t.Skip("deadline cadence requires the batch path; fallback forced via env")
+	}
+	// Batched: ceil(64/16) data reads + one timeout read = ~5 arms. The
+	// fallback reads one datagram per call, so it pays >= sent arms.
+	if fallbackArms < sent {
+		t.Errorf("fallback deadline arms = %d, want >= %d (one per datagram)", fallbackArms, sent)
+	}
+	if batchArms*4 >= fallbackArms {
+		t.Errorf("batched deadline arms = %d vs fallback %d: want >= 4x reduction",
+			batchArms, fallbackArms)
+	}
+}
+
+// TestWireFallbackByteIdenticalResponses is the differential test for the
+// portable fallback: identical seeded traffic — single frames, coalesced
+// multi-frame datagrams, a fragment train, garbage, and a truncated
+// coalesced tail — must produce byte-identical response streams whether the
+// serve loop reads through the batch seam's native path or the forced
+// single-message fallback.
+func TestWireFallbackByteIdenticalResponses(t *testing.T) {
+	const width = 64
+	traffic := func() [][]byte {
+		var dgrams [][]byte
+		bright := make([]byte, width)
+		for i := 0; i < width/2; i++ {
+			bright[i] = 200
+		}
+		// Three plain single-frame queries.
+		dgrams = append(dgrams,
+			encodeQuery(t, 1, 4, make([]byte, width)),
+			encodeQuery(t, 2, 4, bright),
+			encodeQuery(t, 3, 4, make([]byte, width)))
+		// One datagram carrying three coalesced frames.
+		co := append([]byte(nil), encodeQuery(t, 4, 4, bright)...)
+		co = append(co, encodeQuery(t, 5, 4, make([]byte, width))...)
+		co = append(co, encodeQuery(t, 6, 4, bright)...)
+		dgrams = append(dgrams, co)
+		// Unknown model: a deterministic Err response.
+		dgrams = append(dgrams, encodeQuery(t, 7, 9, make([]byte, width)))
+		// Pure garbage: dropped without a response.
+		dgrams = append(dgrams, []byte{0xde, 0xad, 0xbe, 0xef})
+		// Valid frame followed by a truncated tail: one response, strict
+		// drop of the rest.
+		tail := append([]byte(nil), encodeQuery(t, 8, 4, bright)...)
+		tail = append(tail, 0x4c, 0x50, 0x01)
+		dgrams = append(dgrams, tail)
+		// A fragmented query (payload too wide for the model, so the
+		// reassembled whole earns a deterministic Err response).
+		frags, err := nic.Fragment(9, 4, make([]byte, 3000), nic.MaxFragPayload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range frags {
+			raw, err := m.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dgrams = append(dgrams, raw)
+		}
+		return dgrams
+	}
+
+	run := func(fallback bool) ([][]byte, Metrics) {
+		n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 21,
+			Wire: WireConfig{ForceFallback: fallback}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+			t.Fatal(err)
+		}
+		pc := fault.NewStubConn()
+		pc.RecordWrites = true
+		for _, d := range traffic() {
+			pc.Enqueue(d)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := n.ServeUDP(ctx, pc); err != nil {
+			t.Fatalf("ServeUDP (fallback=%v): %v", fallback, err)
+		}
+		return pc.Sent(), n.Metrics()
+	}
+
+	fastSent, fastM := run(false)
+	slowSent, slowM := run(true)
+	if len(fastSent) == 0 {
+		t.Fatal("fast path produced no responses")
+	}
+	if len(fastSent) != len(slowSent) {
+		t.Fatalf("response counts differ: fast %d, fallback %d", len(fastSent), len(slowSent))
+	}
+	for i := range fastSent {
+		if !bytes.Equal(fastSent[i], slowSent[i]) {
+			t.Errorf("response %d differs:\n fast     %x\n fallback %x", i, fastSent[i], slowSent[i])
+		}
+	}
+	if fastM.Served != slowM.Served {
+		t.Errorf("Served differs: fast %d, fallback %d", fastM.Served, slowM.Served)
+	}
+	for _, pair := range [][3]uint64{
+		{fastM.Serve.CoalescedFrames, slowM.Serve.CoalescedFrames, 2},
+		{fastM.Serve.OversizedCoalesce, slowM.Serve.OversizedCoalesce, 1},
+		{fastM.Serve.DecodeErrors, slowM.Serve.DecodeErrors, 1},
+	} {
+		if pair[0] != pair[2] || pair[1] != pair[2] {
+			t.Errorf("drop accounting differs or is wrong: fast %d, fallback %d, want %d",
+				pair[0], pair[1], pair[2])
+		}
+	}
+}
+
+// TestServeWireMetrics pins the rx-side wire accounting: batch-size
+// histograms, coalesced-frame and oversized-tail counters, and the
+// seam-level syscall tallies all land in Metrics.Serve.
+func TestServeWireMetrics(t *testing.T) {
+	const width = 64
+	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterModel(4, "halves", halvesModel(width)); err != nil {
+		t.Fatal(err)
+	}
+	pc := fault.NewStubConn()
+	co := append([]byte(nil), encodeQuery(t, 1, 4, make([]byte, width))...)
+	co = append(co, encodeQuery(t, 2, 4, make([]byte, width))...)
+	co = append(co, encodeQuery(t, 3, 4, make([]byte, width))...)
+	pc.Enqueue(co)
+	tail := append([]byte(nil), encodeQuery(t, 4, 4, make([]byte, width))...)
+	pc.Enqueue(append(tail, 0x00))
+	pc.Enqueue([]byte{0xba, 0xad})
+	pc.Enqueue(encodeQuery(t, 5, 4, make([]byte, width)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.ServeUDP(ctx, pc); err != nil {
+		t.Fatalf("ServeUDP: %v", err)
+	}
+	m := n.Metrics()
+	if m.Served != 5 {
+		t.Errorf("Served = %d, want 5", m.Served)
+	}
+	if got := pc.Writes(); got != 5 {
+		t.Errorf("responses = %d, want 5", got)
+	}
+	s := m.Serve
+	if s.CoalescedFrames != 2 {
+		t.Errorf("CoalescedFrames = %d, want 2", s.CoalescedFrames)
+	}
+	if s.OversizedCoalesce != 1 {
+		t.Errorf("OversizedCoalesce = %d, want 1", s.OversizedCoalesce)
+	}
+	if s.DecodeErrors != 1 {
+		t.Errorf("DecodeErrors = %d, want 1", s.DecodeErrors)
+	}
+	if s.RxBatchSize.Sum != 4 || s.RxBatchSize.Count == 0 {
+		t.Errorf("RxBatchSize = %+v, want Sum 4 over >= 1 batch", s.RxBatchSize)
+	}
+	if s.TxBatchSize.Sum != 5 || s.TxBatchSize.Count == 0 {
+		t.Errorf("TxBatchSize = %+v, want Sum 5 over >= 1 flush", s.TxBatchSize)
+	}
+	if s.RxSyscalls == 0 || s.TxSyscalls == 0 {
+		t.Errorf("seam syscall counters empty: rx %d, tx %d", s.RxSyscalls, s.TxSyscalls)
+	}
+	// Amortization claims hold only when the seam actually batches; the
+	// LIGHTNING_NETBATCH=fallback CI leg runs this test on the
+	// single-message path, where every read moves one datagram by design.
+	if !netbatch.FallbackForced() {
+		if mean := s.RxBatchSize.Mean(); mean <= 1 {
+			t.Errorf("rx batch mean = %.2f, want > 1 (the whole burst in few reads)", mean)
+		}
+		if s.RxSyscalls >= s.RxBatchSize.Sum+2 {
+			t.Errorf("RxSyscalls = %d for %d datagrams: batching amortized nothing",
+				s.RxSyscalls, s.RxBatchSize.Sum)
+		}
+	}
+}
+
+// TestTxBatcherCoalescePacking drives the opt-in tx frame coalescer: same-
+// destination responses pack as concatenated frames into one datagram,
+// destinations never mix, and every packed datagram respects the MTU bound.
+func TestTxBatcherCoalescePacking(t *testing.T) {
+	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 5,
+		Wire: WireConfig{TxCoalesce: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := fault.NewStubConn()
+	pc.RecordWrites = true
+	tx := newTxBatcher(n, n.wrapConn(pc))
+	addrA := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1111}
+	addrB := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 2222}
+	resp := func(id uint32) *Response {
+		return &Response{RequestID: id, ModelID: 4, Class: 1, Probs: []uint8{9, 200}}
+	}
+	tx.queue(resp(1), addrA)
+	tx.queue(resp(2), addrA)
+	tx.queue(resp(3), addrB)
+	tx.queue(resp(4), addrA)
+	tx.flush()
+	sent := pc.Sent()
+	if len(sent) != 2 {
+		t.Fatalf("datagrams = %d, want 2 (one per destination)", len(sent))
+	}
+	// Flush order follows first-queue order: A's packed datagram, then B's.
+	var gotA []uint32
+	data := sent[0]
+	for len(data) > 0 {
+		var m Message
+		consumed, derr := m.DecodeNext(data)
+		if derr != nil {
+			t.Fatalf("packed datagram failed decode: %v", derr)
+		}
+		data = data[consumed:]
+		gotA = append(gotA, m.RequestID)
+	}
+	if len(gotA) != 3 || gotA[0] != 1 || gotA[1] != 2 || gotA[2] != 4 {
+		t.Errorf("destination A frames = %v, want [1 2 4]", gotA)
+	}
+	if got := countDecodableFrames(sent[1]); got != 1 {
+		t.Errorf("destination B frames = %d, want 1", got)
+	}
+	// A fresh flush with nothing queued writes nothing.
+	before := pc.Writes()
+	tx.flush()
+	if pc.Writes() != before {
+		t.Error("empty flush wrote datagrams")
+	}
+}
+
+// TestTxBatcherCoalesceMTUBound packs responses against a tiny MTU: the
+// open datagram closes at the bound and later responses open fresh ones, so
+// no datagram ever exceeds the MTU.
+func TestTxBatcherCoalesceMTUBound(t *testing.T) {
+	// One response frame here is 12 (header) + 2 (class) + 2 (probs) = 16
+	// bytes; MTU 40 fits two frames but not three.
+	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 5,
+		Wire: WireConfig{TxCoalesce: true, MTU: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := fault.NewStubConn()
+	pc.RecordWrites = true
+	tx := newTxBatcher(n, n.wrapConn(pc))
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1111}
+	for id := uint32(1); id <= 5; id++ {
+		tx.queue(&Response{RequestID: id, ModelID: 4, Class: 0, Probs: []uint8{1, 2}}, addr)
+	}
+	tx.flush()
+	sent := pc.Sent()
+	if len(sent) != 3 {
+		t.Fatalf("datagrams = %d, want 3 (2+2+1 frames under MTU 40)", len(sent))
+	}
+	total := 0
+	for i, d := range sent {
+		if len(d) > 40 {
+			t.Errorf("datagram %d is %d bytes, exceeds MTU 40", i, len(d))
+		}
+		total += countDecodableFrames(d)
+	}
+	if total != 5 {
+		t.Errorf("total frames across datagrams = %d, want 5", total)
+	}
+}
+
+// TestTxBatcherWriteErrorSkipsAndCounts: a refused write counts once per
+// lost response and never abandons the rest of the flush (here every write
+// fails, so every pending response is counted and the batch still clears).
+func TestTxBatcherWriteErrorSkipsAndCounts(t *testing.T) {
+	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := fault.NewStubConn()
+	pc.FailWrites = true
+	tx := newTxBatcher(n, n.wrapConn(pc))
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1111}
+	for id := uint32(1); id <= 3; id++ {
+		tx.queue(&Response{RequestID: id, ModelID: 4, Probs: []uint8{0, 0}}, addr)
+	}
+	tx.flush()
+	if got := n.Metrics().Serve.WriteErrors; got != 3 {
+		t.Errorf("WriteErrors = %d, want 3", got)
+	}
+	if pc.Writes() != 0 {
+		t.Errorf("writes = %d, want 0 (every write refused)", pc.Writes())
+	}
+	// The batch cleared despite the failures: recovery writes go through.
+	pc.FailWrites = false
+	tx.queue(&Response{RequestID: 9, ModelID: 4, Probs: []uint8{0, 0}}, addr)
+	tx.flush()
+	if pc.Writes() != 1 {
+		t.Errorf("post-recovery writes = %d, want 1", pc.Writes())
+	}
+}
+
+// TestTxBatcherSteadyStateZeroAllocs is the coalescer's AllocsPerRun guard
+// (CI bench-smoke runs it by name): once the free list and pending storage
+// are warm, queue+flush cycles allocate nothing — in both accumulation
+// modes.
+func TestTxBatcherSteadyStateZeroAllocs(t *testing.T) {
+	for _, coalesce := range []bool{false, true} {
+		name := "plain"
+		if coalesce {
+			name = "coalesce"
+		}
+		t.Run(name, func(t *testing.T) {
+			n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 5,
+				Wire: WireConfig{TxCoalesce: coalesce}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc := fault.NewStubConn()
+			tx := newTxBatcher(n, n.wrapConn(pc))
+			addr := net.Addr(fault.Addr{})
+			resp := &Response{RequestID: 1, ModelID: 4, Class: 1, Probs: []uint8{3, 250}}
+			cycle := func() {
+				tx.queue(resp, addr)
+				tx.queue(resp, addr)
+				tx.flush()
+			}
+			for i := 0; i < 8; i++ {
+				cycle() // warm the free list and pending capacity
+			}
+			if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+				t.Errorf("%s queue+flush allocates %.1f per cycle, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// FuzzCoalescedFrameDecode feeds adversarial datagrams — truncated headers,
+// stretched length prefixes, valid frames with corrupt tails — through the
+// serve path's coalesced-frame walk. Invariants: never panic, and never
+// emit more responses than the datagram has fully-decodable frames (in
+// particular, a datagram whose first frame is malformed gets none).
+func FuzzCoalescedFrameDecode(f *testing.F) {
+	const width = 8
+	mustEncode := func(id uint32, modelID uint16, payload []byte) []byte {
+		raw, err := (&Message{RequestID: id, ModelID: modelID, Payload: payload}).Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	one := mustEncode(1, 4, make([]byte, width))
+	two := append(append([]byte(nil), one...), mustEncode(2, 4, make([]byte, width))...)
+	f.Add([]byte{})
+	f.Add(one)
+	f.Add(two)
+	f.Add(two[:len(two)-3])                // truncated coalesced tail
+	f.Add(append([]byte(nil), two[5:]...)) // mid-frame start
+	f.Add([]byte{0x4c, 0x50, 0x01, 0x00, 0xff, 0xff})
+	n, err := New(Config{Lanes: 2, Noiseless: true, Seed: 13})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := n.RegisterModel(4, "halves", SyntheticHalvesModel(width)); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pc := fault.NewStubConn()
+		tx := newTxBatcher(n, n.wrapConn(pc))
+		valid := countDecodableFrames(data)
+		n.serveDatagram(data, fault.Addr{}, tx)
+		tx.flush()
+		writes := pc.Writes()
+		if valid == 0 && writes != 0 {
+			t.Fatalf("undecodable datagram %x produced %d responses", data, writes)
+		}
+		if writes > uint64(valid) {
+			t.Fatalf("datagram %x: %d responses for %d decodable frames — a partial frame was served",
+				data, writes, valid)
+		}
+	})
+}
